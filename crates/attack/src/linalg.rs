@@ -1,0 +1,146 @@
+//! Minimal dense linear algebra for ordinary least squares: normal
+//! equations solved by Gaussian elimination with partial pivoting.
+
+/// Solves `A x = b` for square `A` (row-major, `n × n`) in place.
+/// Returns `None` if `A` is (numerically) singular.
+pub(crate) fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
+    let n = b.len();
+    debug_assert!(a.len() == n && a.iter().all(|r| r.len() == n));
+    for col in 0..n {
+        // Partial pivot.
+        let pivot = (col..n).max_by(|&i, &j| a[i][col].abs().total_cmp(&a[j][col].abs()))?;
+        if a[pivot][col].abs() < 1e-12 {
+            return None;
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        let d = a[col][col];
+        for j in col..n {
+            a[col][j] /= d;
+        }
+        b[col] /= d;
+        for row in 0..n {
+            if row != col {
+                let factor = a[row][col];
+                if factor != 0.0 {
+                    for j in col..n {
+                        a[row][j] -= factor * a[col][j];
+                    }
+                    b[row] -= factor * b[col];
+                }
+            }
+        }
+    }
+    Some(b)
+}
+
+/// Ordinary least squares: finds `w` minimising `‖X w − y‖²` via the normal
+/// equations `XᵀX w = Xᵀy`, with a small ridge term for numerical safety on
+/// collinear designs. Returns `None` when the system is degenerate.
+pub(crate) fn least_squares(x: &[Vec<f64>], y: &[f64]) -> Option<Vec<f64>> {
+    let rows = x.len();
+    if rows == 0 || rows != y.len() {
+        return None;
+    }
+    let cols = x[0].len();
+    if cols == 0 || x.iter().any(|r| r.len() != cols) {
+        return None;
+    }
+    let mut xtx = vec![vec![0.0; cols]; cols];
+    let mut xty = vec![0.0; cols];
+    for (row, &yi) in x.iter().zip(y) {
+        for i in 0..cols {
+            xty[i] += row[i] * yi;
+            for j in i..cols {
+                xtx[i][j] += row[i] * row[j];
+            }
+        }
+    }
+    for i in 0..cols {
+        for j in 0..i {
+            xtx[i][j] = xtx[j][i];
+        }
+        xtx[i][i] += 1e-9; // ridge for collinear designs
+    }
+    solve(xtx, xty)
+}
+
+/// Coefficient of determination R² of predictions `yhat` against `y`.
+/// Returns 1.0 for a constant target perfectly predicted, 0.0 for a
+/// constant target mispredicted.
+pub(crate) fn r_squared(y: &[f64], yhat: &[f64]) -> f64 {
+    debug_assert_eq!(y.len(), yhat.len());
+    let n = y.len() as f64;
+    if y.is_empty() {
+        return 0.0;
+    }
+    let mean = y.iter().sum::<f64>() / n;
+    let ss_tot: f64 = y.iter().map(|v| (v - mean).powi(2)).sum();
+    let ss_res: f64 = y.iter().zip(yhat).map(|(v, p)| (v - p).powi(2)).sum();
+    if ss_tot < 1e-15 {
+        return if ss_res < 1e-12 { 1.0 } else { 0.0 };
+    }
+    1.0 - ss_res / ss_tot
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_identity() {
+        let a = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        let x = solve(a, vec![3.0, 4.0]).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-12 && (x[1] - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // First pivot is zero; plain elimination would divide by zero.
+        let a = vec![vec![0.0, 1.0], vec![2.0, 1.0]];
+        let x = solve(a, vec![1.0, 4.0]).unwrap();
+        assert!((x[0] - 1.5).abs() < 1e-12);
+        assert!((x[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_singular_is_none() {
+        let a = vec![vec![1.0, 2.0], vec![2.0, 4.0]];
+        assert!(solve(a, vec![1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn least_squares_recovers_exact_line() {
+        // y = 2 + 3x, design [1, x].
+        let x: Vec<Vec<f64>> = (0..10).map(|i| vec![1.0, i as f64]).collect();
+        let y: Vec<f64> = (0..10).map(|i| 2.0 + 3.0 * i as f64).collect();
+        let w = least_squares(&x, &y).unwrap();
+        assert!((w[0] - 2.0).abs() < 1e-6);
+        assert!((w[1] - 3.0).abs() < 1e-6);
+        let yhat: Vec<f64> = x.iter().map(|r| w[0] + w[1] * r[1]).collect();
+        assert!(r_squared(&y, &yhat) > 0.999999);
+    }
+
+    #[test]
+    fn least_squares_on_noisy_data_fits_approximately() {
+        let x: Vec<Vec<f64>> = (0..50).map(|i| vec![1.0, i as f64]).collect();
+        let y: Vec<f64> = (0..50)
+            .map(|i| 1.0 + 0.5 * i as f64 + if i % 2 == 0 { 0.1 } else { -0.1 })
+            .collect();
+        let w = least_squares(&x, &y).unwrap();
+        assert!((w[1] - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn r_squared_of_mean_prediction_is_zero() {
+        let y = vec![1.0, 2.0, 3.0];
+        let yhat = vec![2.0, 2.0, 2.0];
+        assert!(r_squared(&y, &yhat).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs_rejected() {
+        assert!(least_squares(&[], &[]).is_none());
+        assert!(least_squares(&[vec![1.0]], &[1.0, 2.0]).is_none());
+    }
+}

@@ -1,0 +1,284 @@
+//! Trojan placement strategies and the spatial metrics of Definitions 6–8:
+//! the HTs' virtual center ω, its Manhattan distance ρ to the global
+//! manager, and the HT density η.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use htpb_noc::{Coord, Mesh2d, NodeId};
+
+/// The HT distributions compared in Fig. 4 of the paper, plus explicit
+/// placements for the optimizer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlacementStrategy {
+    /// HTs packed as closely as possible around the chip center
+    /// (Fig. 4 case i).
+    CenterCluster,
+    /// HTs drawn uniformly at random over the mesh (Fig. 4 case ii).
+    Random {
+        /// RNG seed for reproducibility.
+        seed: u64,
+    },
+    /// HTs packed into the corner at (0, 0) (Fig. 4 case iii).
+    CornerCluster,
+    /// HTs packed as closely as possible around an arbitrary anchor node.
+    ClusterAround {
+        /// Cluster anchor.
+        anchor: NodeId,
+    },
+    /// An explicit, caller-chosen set of nodes.
+    Explicit(Vec<NodeId>),
+}
+
+/// A concrete placement of `m` Trojans on a mesh.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Placement {
+    nodes: Vec<NodeId>,
+}
+
+impl Placement {
+    /// Materialises `strategy` for `m` Trojans on `mesh`, never placing a
+    /// Trojan in the `excluded` nodes (typically the global manager's
+    /// router, whose modification would be pointless, and the attacker's
+    /// own node).
+    ///
+    /// Cluster strategies pick the `m` non-excluded nodes closest to the
+    /// anchor (ties broken by node id), so `m` up to the mesh size is
+    /// always satisfiable.
+    #[must_use]
+    pub fn generate(
+        mesh: Mesh2d,
+        m: usize,
+        strategy: &PlacementStrategy,
+        excluded: &[NodeId],
+    ) -> Self {
+        let is_excluded = |n: NodeId| excluded.contains(&n);
+        let nodes = match strategy {
+            PlacementStrategy::CenterCluster => {
+                let anchor = mesh.center();
+                Self::closest_to(mesh, anchor, m, &is_excluded)
+            }
+            PlacementStrategy::CornerCluster => {
+                Self::closest_to(mesh, mesh.corner(), m, &is_excluded)
+            }
+            PlacementStrategy::ClusterAround { anchor } => {
+                Self::closest_to(mesh, *anchor, m, &is_excluded)
+            }
+            PlacementStrategy::Random { seed } => {
+                let mut rng = StdRng::seed_from_u64(*seed);
+                let mut pool: Vec<NodeId> =
+                    mesh.iter_nodes().filter(|n| !is_excluded(*n)).collect();
+                pool.shuffle(&mut rng);
+                pool.truncate(m);
+                pool.sort_unstable();
+                pool
+            }
+            PlacementStrategy::Explicit(list) => {
+                let mut v: Vec<NodeId> = list
+                    .iter()
+                    .copied()
+                    .filter(|n| mesh.contains(*n) && !is_excluded(*n))
+                    .collect();
+                v.sort_unstable();
+                v.dedup();
+                v
+            }
+        };
+        Placement { nodes }
+    }
+
+    fn closest_to(
+        mesh: Mesh2d,
+        anchor: NodeId,
+        m: usize,
+        is_excluded: &dyn Fn(NodeId) -> bool,
+    ) -> Vec<NodeId> {
+        let mut pool: Vec<NodeId> = mesh.iter_nodes().filter(|n| !is_excluded(*n)).collect();
+        pool.sort_by_key(|n| (mesh.distance(*n, anchor), n.0));
+        pool.truncate(m);
+        pool.sort_unstable();
+        pool
+    }
+
+    /// The infected nodes, ascending.
+    #[must_use]
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// Number of Trojans `m`.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether no Trojan is placed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Definition 6: the virtual center ω of the placement in continuous
+    /// mesh coordinates. `None` for an empty placement.
+    #[must_use]
+    pub fn virtual_center(&self, mesh: Mesh2d) -> Option<(f64, f64)> {
+        virtual_center(mesh, &self.nodes)
+    }
+
+    /// Definition 7: Manhattan distance ρ between the global manager and
+    /// the virtual center. `None` for an empty placement.
+    #[must_use]
+    pub fn distance_rho(&self, mesh: Mesh2d, manager: NodeId) -> Option<f64> {
+        distance_rho(mesh, &self.nodes, manager)
+    }
+
+    /// Definition 8: density η — mean Manhattan distance from the virtual
+    /// center to each Trojan (lower = denser). `None` for an empty
+    /// placement.
+    #[must_use]
+    pub fn density_eta(&self, mesh: Mesh2d) -> Option<f64> {
+        density_eta(mesh, &self.nodes)
+    }
+}
+
+/// Definition 6 — the coordinates of the malicious nodes' virtual center:
+/// `ω_X = Σ X_i / m`, `ω_Y = Σ Y_i / m`.
+#[must_use]
+pub fn virtual_center(mesh: Mesh2d, nodes: &[NodeId]) -> Option<(f64, f64)> {
+    if nodes.is_empty() {
+        return None;
+    }
+    let m = nodes.len() as f64;
+    let (sx, sy) = nodes.iter().fold((0.0, 0.0), |(sx, sy), n| {
+        let c = mesh.coord(*n);
+        (sx + c.x as f64, sy + c.y as f64)
+    });
+    Some((sx / m, sy / m))
+}
+
+/// Definition 7 — `ρ = MD(O, Ω)`: Manhattan distance between the global
+/// manager `O` and the HTs' virtual center `Ω` (continuous, since the
+/// virtual center need not fall on a node).
+#[must_use]
+pub fn distance_rho(mesh: Mesh2d, nodes: &[NodeId], manager: NodeId) -> Option<f64> {
+    let (wx, wy) = virtual_center(mesh, nodes)?;
+    let o = mesh.coord(manager);
+    Some((wx - o.x as f64).abs() + (wy - o.y as f64).abs())
+}
+
+/// Definition 8 — `η = Σ MD(Ω, M_i) / m`: the mean Manhattan distance from
+/// the virtual center to each malicious node. The paper calls this the HT
+/// *density*; a **smaller** value means a tighter (denser) cluster.
+#[must_use]
+pub fn density_eta(mesh: Mesh2d, nodes: &[NodeId]) -> Option<f64> {
+    let (wx, wy) = virtual_center(mesh, nodes)?;
+    let m = nodes.len() as f64;
+    let sum: f64 = nodes
+        .iter()
+        .map(|n| {
+            let c: Coord = mesh.coord(*n);
+            (c.x as f64 - wx).abs() + (c.y as f64 - wy).abs()
+        })
+        .sum();
+    Some(sum / m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mesh() -> Mesh2d {
+        Mesh2d::new(8, 8).unwrap()
+    }
+
+    #[test]
+    fn center_cluster_hugs_the_center() {
+        let m = mesh();
+        let p = Placement::generate(m, 5, &PlacementStrategy::CenterCluster, &[]);
+        assert_eq!(p.len(), 5);
+        let rho = p.distance_rho(m, m.center()).unwrap();
+        assert!(rho < 1.5, "rho = {rho}");
+        let eta = p.density_eta(m).unwrap();
+        assert!(eta <= 1.5, "eta = {eta}");
+    }
+
+    #[test]
+    fn corner_cluster_is_far_from_center() {
+        let m = mesh();
+        let p = Placement::generate(m, 5, &PlacementStrategy::CornerCluster, &[]);
+        let rho = p.distance_rho(m, m.center()).unwrap();
+        assert!(rho > 5.0, "rho = {rho}");
+        assert!(p.nodes().contains(&NodeId(0)));
+    }
+
+    #[test]
+    fn random_placement_is_reproducible_and_spread() {
+        let m = mesh();
+        let a = Placement::generate(m, 10, &PlacementStrategy::Random { seed: 7 }, &[]);
+        let b = Placement::generate(m, 10, &PlacementStrategy::Random { seed: 7 }, &[]);
+        assert_eq!(a, b);
+        let c = Placement::generate(m, 10, &PlacementStrategy::Random { seed: 8 }, &[]);
+        assert_ne!(a, c);
+        // Random spread has higher eta than a tight cluster.
+        let cluster = Placement::generate(m, 10, &PlacementStrategy::CenterCluster, &[]);
+        assert!(a.density_eta(m).unwrap() > cluster.density_eta(m).unwrap());
+    }
+
+    #[test]
+    fn excluded_nodes_are_never_infected() {
+        let m = mesh();
+        let manager = m.center();
+        for strat in [
+            PlacementStrategy::CenterCluster,
+            PlacementStrategy::Random { seed: 3 },
+            PlacementStrategy::CornerCluster,
+        ] {
+            let p = Placement::generate(m, 20, &strat, &[manager]);
+            assert_eq!(p.len(), 20);
+            assert!(!p.nodes().contains(&manager), "{strat:?}");
+        }
+    }
+
+    #[test]
+    fn explicit_placement_filters_and_dedups() {
+        let m = mesh();
+        let p = Placement::generate(
+            m,
+            0, // m is ignored for explicit lists
+            &PlacementStrategy::Explicit(vec![NodeId(3), NodeId(3), NodeId(99), NodeId(1)]),
+            &[NodeId(1)],
+        );
+        assert_eq!(p.nodes(), &[NodeId(3)]);
+    }
+
+    #[test]
+    fn definitions_on_hand_example() {
+        // HTs at (0,0) and (2,2): ω = (1,1); with manager at (1,1), ρ = 0;
+        // η = (2 + 2) / 2 = 2.
+        let m = Mesh2d::new(4, 4).unwrap();
+        let nodes = vec![m.node(Coord::new(0, 0)), m.node(Coord::new(2, 2))];
+        let (wx, wy) = virtual_center(m, &nodes).unwrap();
+        assert_eq!((wx, wy), (1.0, 1.0));
+        let manager = m.node(Coord::new(1, 1));
+        assert_eq!(distance_rho(m, &nodes, manager), Some(0.0));
+        assert_eq!(density_eta(m, &nodes), Some(2.0));
+    }
+
+    #[test]
+    fn empty_placement_metrics_are_none() {
+        let m = mesh();
+        let p = Placement::generate(m, 0, &PlacementStrategy::CenterCluster, &[]);
+        assert!(p.is_empty());
+        assert_eq!(p.virtual_center(m), None);
+        assert_eq!(p.distance_rho(m, m.center()), None);
+        assert_eq!(p.density_eta(m), None);
+    }
+
+    #[test]
+    fn single_ht_density_is_zero() {
+        let m = mesh();
+        let p = Placement::generate(m, 1, &PlacementStrategy::CenterCluster, &[]);
+        assert_eq!(p.density_eta(m), Some(0.0));
+    }
+}

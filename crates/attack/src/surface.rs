@@ -1,0 +1,183 @@
+//! The attacker's targeting map: per-router *criticality* — the fraction of
+//! request sources whose route to the global manager crosses each router.
+//!
+//! Criticality is the spatial structure behind every placement result in
+//! the paper: Fig. 3's manager-location effect (a corner manager stretches
+//! routes, raising average criticality), Fig. 4's distribution ordering
+//! (center clusters sit on high-criticality routers), and the Eq. 10
+//! optimum (pick the criticality maxima). The map also serves defenders:
+//! routers above a criticality threshold deserve hardened implementations
+//! or post-silicon inspection first.
+
+use htpb_noc::{Mesh2d, NodeId};
+
+/// Per-router criticality for one (mesh, manager) configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttackSurface {
+    mesh: Mesh2d,
+    manager: NodeId,
+    /// `criticality[node]` — fraction of sources routed through the node.
+    criticality: Vec<f64>,
+}
+
+impl AttackSurface {
+    /// Computes the surface under XY routing (one request per non-manager
+    /// node, the paper's epoch traffic).
+    #[must_use]
+    pub fn compute(mesh: Mesh2d, manager: NodeId) -> Self {
+        let mut hits = vec![0u32; mesh.nodes() as usize];
+        let mut sources = 0u32;
+        for src in mesh.iter_nodes() {
+            if src == manager {
+                continue;
+            }
+            sources += 1;
+            for node in mesh.xy_path(src, manager) {
+                hits[node.0 as usize] += 1;
+            }
+        }
+        AttackSurface {
+            mesh,
+            manager,
+            criticality: hits
+                .into_iter()
+                .map(|h| {
+                    if sources == 0 {
+                        0.0
+                    } else {
+                        f64::from(h) / f64::from(sources)
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// The mesh the surface was computed over.
+    #[must_use]
+    pub fn mesh(&self) -> Mesh2d {
+        self.mesh
+    }
+
+    /// The manager node.
+    #[must_use]
+    pub fn manager(&self) -> NodeId {
+        self.manager
+    }
+
+    /// Criticality of one router in `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is outside the mesh.
+    #[must_use]
+    pub fn criticality(&self, node: NodeId) -> f64 {
+        self.criticality[node.0 as usize]
+    }
+
+    /// All routers ranked by criticality, descending (ties by id).
+    #[must_use]
+    pub fn ranked(&self) -> Vec<(NodeId, f64)> {
+        let mut v: Vec<(NodeId, f64)> = self
+            .criticality
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (NodeId(i as u16), *c))
+            .collect();
+        v.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0 .0.cmp(&b.0 .0)));
+        v
+    }
+
+    /// The `k` most critical routers excluding the manager's own — the
+    /// attacker's natural shopping list, and the defender's hardening list.
+    #[must_use]
+    pub fn top_k(&self, k: usize) -> Vec<NodeId> {
+        self.ranked()
+            .into_iter()
+            .filter(|(n, _)| *n != self.manager)
+            .take(k)
+            .map(|(n, _)| n)
+            .collect()
+    }
+
+    /// Mean criticality over all non-manager routers — a scalar measure of
+    /// how exposed the whole chip is for this manager placement (higher for
+    /// corner managers, cf. Fig. 3).
+    #[must_use]
+    pub fn mean_exposure(&self) -> f64 {
+        let n = self.criticality.len() - 1;
+        if n == 0 {
+            return 0.0;
+        }
+        let sum: f64 = self
+            .criticality
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != self.manager.0 as usize)
+            .map(|(_, c)| *c)
+            .sum();
+        sum / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manager_router_sees_everything() {
+        let mesh = Mesh2d::new(8, 8).unwrap();
+        let s = AttackSurface::compute(mesh, mesh.center());
+        assert!((s.criticality(mesh.center()) - 1.0).abs() < 1e-12);
+        assert_eq!(s.ranked()[0].0, mesh.center());
+    }
+
+    #[test]
+    fn criticality_grows_towards_the_manager() {
+        let mesh = Mesh2d::new(8, 8).unwrap();
+        let manager = mesh.center();
+        let s = AttackSurface::compute(mesh, manager);
+        // A manager neighbour on the column outranks a corner node.
+        let neighbour = mesh
+            .neighbor(manager, htpb_noc::Direction::North)
+            .unwrap();
+        assert!(s.criticality(neighbour) > s.criticality(NodeId(63)) * 3.0);
+    }
+
+    #[test]
+    fn top_k_excludes_manager_and_matches_optimizer_instincts() {
+        let mesh = Mesh2d::new(8, 8).unwrap();
+        let manager = mesh.center();
+        let s = AttackSurface::compute(mesh, manager);
+        let top = s.top_k(4);
+        assert_eq!(top.len(), 4);
+        assert!(!top.contains(&manager));
+        // Under XY routing the manager's own column carries every request's
+        // final Y-phase, so the hottest routers all share its column.
+        let mx = mesh.coord(manager).x;
+        for n in top {
+            assert_eq!(mesh.coord(n).x, mx, "{n} not on the manager column");
+        }
+    }
+
+    #[test]
+    fn corner_manager_raises_exposure() {
+        // Fig. 3's mechanism, as a closed-form statement: longer routes
+        // mean more routers with high criticality.
+        let mesh = Mesh2d::new(8, 8).unwrap();
+        let center = AttackSurface::compute(mesh, mesh.center()).mean_exposure();
+        let corner = AttackSurface::compute(mesh, mesh.corner()).mean_exposure();
+        assert!(
+            corner > center * 1.2,
+            "corner {corner} vs center {center}"
+        );
+    }
+
+    #[test]
+    fn single_node_mesh_degenerates_gracefully() {
+        let mesh = Mesh2d::new(1, 1).unwrap();
+        let s = AttackSurface::compute(mesh, NodeId(0));
+        assert_eq!(s.criticality(NodeId(0)), 0.0);
+        assert_eq!(s.mean_exposure(), 0.0);
+        assert!(s.top_k(3).is_empty());
+    }
+}

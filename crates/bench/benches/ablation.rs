@@ -1,0 +1,150 @@
+//! Ablation benches for the design choices DESIGN.md §5 calls out:
+//! allocation policy, routing algorithm, tamper rule, and epoch length.
+//! Each measures one campaign under the varied knob and asserts the attack
+//! stays effective (Q > 1) — the paper's "irrespective of the algorithm"
+//! claim, mechanised.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use htpb_core::{
+    run_campaign, AllocatorKind, AppRole, Benchmark, CampaignConfig, Mesh2d, Mix,
+    RequestProtection, RoutingKind, SystemBuilder, TamperRule, TrojanFleet, Workload,
+};
+
+fn base() -> CampaignConfig {
+    CampaignConfig::tiny(Mix::Mix1)
+}
+
+fn bench_allocators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_allocator");
+    group.sample_size(10);
+    for kind in AllocatorKind::ALL {
+        group.bench_function(kind.name(), |b| {
+            b.iter(|| {
+                let mut cfg = base();
+                cfg.allocator = kind;
+                let r = run_campaign(&cfg, 1.0);
+                assert!(r.outcome.q_value > 1.0, "{} defeated", kind.name());
+                r.outcome.q_value
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_routing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_routing");
+    group.sample_size(10);
+    for routing in RoutingKind::ALL {
+        group.bench_function(format!("{routing:?}"), |b| {
+            b.iter(|| {
+                let mut cfg = base();
+                cfg.routing = routing;
+                let r = run_campaign(&cfg, 1.0);
+                assert!(r.outcome.q_value > 1.0);
+                r.outcome.q_value
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_tamper_rules(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_tamper_rule");
+    group.sample_size(10);
+    for (label, rule) in [
+        ("zero", TamperRule::Zero),
+        ("scale25", TamperRule::ScalePercent(25)),
+        ("clamp400mw", TamperRule::ClampTo(400)),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut cfg = base();
+                cfg.tamper_rule = rule;
+                let r = run_campaign(&cfg, 1.0);
+                assert!(r.outcome.q_value >= 1.0);
+                r.outcome.q_value
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_epoch_length(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_epoch_cycles");
+    group.sample_size(10);
+    for epoch in [600u64, 1200, 2400] {
+        group.bench_function(format!("{epoch}"), |b| {
+            b.iter(|| {
+                let mut cfg = base();
+                cfg.epoch_cycles = Some(epoch);
+                let r = run_campaign(&cfg, 1.0);
+                r.outcome.q_value
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_memory_model(c: &mut Criterion) {
+    // Rate-based vs. detailed caches: the structural-fidelity knob's cost.
+    let mut group = c.benchmark_group("ablation_memory_model");
+    group.sample_size(10);
+    for (label, detailed) in [("rate-based", false), ("detailed-caches", true)] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mesh = Mesh2d::new(8, 8).unwrap();
+                let mut sys = SystemBuilder::new(mesh)
+                    .workload(
+                        Workload::new()
+                            .app(Benchmark::Canneal, 30, AppRole::Legitimate)
+                            .app(Benchmark::Vips, 30, AppRole::Legitimate),
+                    )
+                    .detailed_caches(detailed)
+                    .build()
+                    .unwrap();
+                sys.run_epochs(3);
+                sys.network().stats().delivered_packets()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_protection_overhead(c: &mut Criterion) {
+    // The checksum defense must be nearly free on a clean chip and cheap
+    // under attack.
+    let mut group = c.benchmark_group("ablation_protection");
+    group.sample_size(10);
+    for (label, protect) in [("vulnerable", false), ("checksummed", true)] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mesh = Mesh2d::new(8, 8).unwrap();
+                let manager = mesh.center();
+                let mut fleet = TrojanFleet::new(&[manager], TamperRule::Zero);
+                fleet.configure_all(&[], manager, true);
+                let mut builder = SystemBuilder::new(mesh)
+                    .manager(manager)
+                    .workload(Workload::new().app(Benchmark::Barnes, 40, AppRole::Legitimate));
+                if protect {
+                    builder = builder.protection(RequestProtection::new(7));
+                }
+                let mut sys = builder.build_with_inspector(fleet).unwrap();
+                sys.run_epochs(3);
+                sys.requests_rejected()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_allocators,
+    bench_routing,
+    bench_tamper_rules,
+    bench_epoch_length,
+    bench_memory_model,
+    bench_protection_overhead
+);
+criterion_main!(benches);

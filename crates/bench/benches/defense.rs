@@ -1,0 +1,77 @@
+//! Criterion benches for the defense layer: the checksum, probe and
+//! localization primitives must be cheap enough to run every epoch on a
+//! manager core.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use htpb_core::{DefenseSuite, Mesh2d, NodeId, ProbePlan, RequestProtection, TrojanLocalizer};
+
+fn bench_checksum(c: &mut Criterion) {
+    let p = RequestProtection::new(0xDEAD_BEEF);
+    c.bench_function("defense_checksum_verify", |b| {
+        let sum = p.checksum(17, 2_515);
+        b.iter(|| p.verify(std::hint::black_box(17), std::hint::black_box(2_515), Some(sum)));
+    });
+}
+
+fn bench_probe_schedule(c: &mut Criterion) {
+    let plan = ProbePlan::default_band(7);
+    c.bench_function("defense_probe_expected", |b| {
+        let mut epoch = 0u64;
+        b.iter(|| {
+            epoch += 1;
+            plan.expected(NodeId((epoch % 256) as u16), epoch)
+        });
+    });
+}
+
+fn bench_localizer_256(c: &mut Criterion) {
+    let mesh = Mesh2d::with_nodes(256).unwrap();
+    let manager = mesh.center();
+    let trojans = [NodeId(40), NodeId(200)];
+    let mut flagged = Vec::new();
+    let mut clean = Vec::new();
+    for src in mesh.iter_nodes() {
+        if src == manager {
+            continue;
+        }
+        if mesh.xy_path(src, manager).iter().any(|n| trojans.contains(n)) {
+            flagged.push(src);
+        } else {
+            clean.push(src);
+        }
+    }
+    let loc = TrojanLocalizer::new(mesh, manager);
+    c.bench_function("defense_localize_256nodes", |b| {
+        b.iter(|| {
+            let r = loc.localize(&flagged, &clean);
+            assert!(r.suspects.contains(&trojans[0]));
+            r.suspects.len()
+        });
+    });
+}
+
+fn bench_suite_epoch(c: &mut Criterion) {
+    // One full epoch of suite bookkeeping on a 256-node chip.
+    let mesh = Mesh2d::with_nodes(256).unwrap();
+    c.bench_function("defense_suite_epoch_256nodes", |b| {
+        b.iter(|| {
+            let mut suite = DefenseSuite::new(mesh, mesh.center(), ProbePlan::default_band(1));
+            for epoch in 0..3 {
+                for core in mesh.iter_nodes() {
+                    suite.observe_request(core, epoch, 2_000.0);
+                }
+            }
+            suite.verdict().compromised
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_checksum,
+    bench_probe_schedule,
+    bench_localizer_256,
+    bench_suite_epoch
+);
+criterion_main!(benches);

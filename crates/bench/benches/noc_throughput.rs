@@ -1,0 +1,83 @@
+//! Microbenchmarks of the NoC substrate itself: draining manager-hotspot
+//! traffic under both routing algorithms, and the cost of the inspector
+//! hook with an armed Trojan fleet (it must be nearly free on clean
+//! routers).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use htpb_core::{
+    Mesh2d, Network, NetworkConfig, NodeId, Packet, RoutingKind, TamperRule, TrojanFleet,
+};
+
+fn hotspot_net(routing: RoutingKind) -> Network {
+    let mesh = Mesh2d::new(8, 8).unwrap();
+    let mut net = Network::new(NetworkConfig::new(mesh).with_routing(routing));
+    let manager = mesh.center();
+    for src in mesh.iter_nodes() {
+        if src != manager {
+            net.inject(Packet::power_request(src, manager, 1_000))
+                .unwrap();
+        }
+    }
+    net
+}
+
+fn bench_drain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("noc_drain_hotspot");
+    group.sample_size(20);
+    for routing in [RoutingKind::Xy, RoutingKind::OddEven] {
+        group.bench_function(format!("{routing:?}"), |b| {
+            b.iter_batched(
+                || hotspot_net(routing),
+                |mut net| {
+                    assert!(net.run_until_idle(100_000));
+                    net.stats().delivered_packets()
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_inspector_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("noc_inspector_overhead");
+    group.sample_size(20);
+    let mesh = Mesh2d::new(8, 8).unwrap();
+    let manager = mesh.center();
+
+    group.bench_function("clean", |b| {
+        b.iter_batched(
+            || hotspot_net(RoutingKind::Xy),
+            |mut net| {
+                net.run_until_idle(100_000);
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("16-trojans-armed", |b| {
+        b.iter_batched(
+            || {
+                let nodes: Vec<NodeId> = (0..16).map(|i| NodeId(i * 4)).collect();
+                let mut fleet = TrojanFleet::new(&nodes, TamperRule::Zero);
+                fleet.configure_all(&[], manager, true);
+                let mut net = Network::with_inspector(NetworkConfig::new(mesh), fleet);
+                for src in mesh.iter_nodes() {
+                    if src != manager {
+                        net.inject(Packet::power_request(src, manager, 1_000))
+                            .unwrap();
+                    }
+                }
+                net
+            },
+            |mut net| {
+                net.run_until_idle(100_000);
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_drain, bench_inspector_overhead);
+criterion_main!(benches);

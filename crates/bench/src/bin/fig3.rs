@@ -1,0 +1,60 @@
+//! Regenerates **Fig. 3** of the paper: infection rate vs. number of
+//! randomly placed hardware Trojans, for the global manager at the chip's
+//! center vs. at one corner, on 64-node (a) and 512-node (b) chips.
+//!
+//! Paper shapes to reproduce:
+//! - infection rate rises monotonically with the number of HTs;
+//! - the corner-manager curve sits above the center-manager curve (the
+//!   paper reports >20% higher beyond ~10 HTs) because requests travel
+//!   farther and cross more routers.
+
+use htpb_bench::{banner, timed};
+use htpb_core::{fig3_series, ManagerLocation, Series};
+
+fn counts_for(nodes: u32) -> Vec<usize> {
+    // Paper: 0..30 HTs for 64 nodes, 0..60 for 512.
+    let max = if nodes <= 64 { 30 } else { 60 };
+    (0..=max).step_by(5).collect()
+}
+
+fn run_panel(nodes: u32, seeds: &[u64]) -> (Series, Series) {
+    let counts = counts_for(nodes);
+    let center = fig3_series(nodes, ManagerLocation::Center, &counts, seeds);
+    let corner = fig3_series(nodes, ManagerLocation::Corner, &counts, seeds);
+    (center, corner)
+}
+
+fn main() {
+    banner(
+        "Fig. 3",
+        "infection rate vs. #HTs, manager at center vs. corner",
+    );
+    let seeds: Vec<u64> = (0..8).collect();
+    for (panel, nodes) in [("(a)", 64u32), ("(b)", 512u32)] {
+        let (center, corner) = timed(&format!("panel {panel} ({nodes} nodes)"), || {
+            run_panel(nodes, &seeds)
+        });
+        println!("\n--- Fig. 3 {panel}: system size = {nodes} ---");
+        print!("{}", center.to_table());
+        print!("{}", corner.to_table());
+
+        // Shape checks.
+        let mono = center.is_monotonic_nondecreasing() && corner.is_monotonic_nondecreasing();
+        println!("shape: monotonic-in-#HTs = {mono}");
+        let advantage: Vec<f64> = center
+            .points
+            .iter()
+            .zip(&corner.points)
+            .filter(|((_, c), _)| *c > 0.0)
+            .map(|((_, c), (_, k))| k / c - 1.0)
+            .collect();
+        if let Some(max_adv) = advantage.iter().cloned().fold(None::<f64>, |a, b| {
+            Some(a.map_or(b, |a| a.max(b)))
+        }) {
+            println!(
+                "shape: corner manager advantage up to {:+.0}% (paper: >20% beyond ~10 HTs)",
+                max_adv * 100.0
+            );
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Regenerates **Fig. 4** of the paper: infection rate vs. system size
+//! (64–512 nodes) for three HT distributions — clustered at the chip
+//! center, uniformly random, and clustered in one corner — with the Trojan
+//! count fixed at 1/16 (a) and 1/8 (b) of the system size. The global
+//! manager sits at the center.
+//!
+//! Paper shapes to reproduce: center-cluster ≥ random ≥ corner-cluster at
+//! every size; at 256 nodes with N/16 HTs the paper reports the center
+//! cluster at 1.59× the random rate and 9.85× the corner rate.
+
+use htpb_bench::{banner, timed};
+use htpb_core::{fig4_series, PlacementStrategy, Series};
+
+const SIZES: [u32; 4] = [64, 128, 256, 512];
+
+fn run_panel(denominator: u32, seeds: &[u64]) -> Vec<Series> {
+    vec![
+        fig4_series(
+            &SIZES,
+            "HTs around the center",
+            |_| PlacementStrategy::CenterCluster,
+            denominator,
+            seeds,
+        ),
+        fig4_series(
+            &SIZES,
+            "HTs distributed randomly",
+            |seed| PlacementStrategy::Random { seed },
+            denominator,
+            seeds,
+        ),
+        fig4_series(
+            &SIZES,
+            "HTs in one corner",
+            |_| PlacementStrategy::CornerCluster,
+            denominator,
+            seeds,
+        ),
+    ]
+}
+
+fn main() {
+    banner("Fig. 4", "infection rate vs. HT distribution and system size");
+    let seeds: Vec<u64> = (0..8).collect();
+    for (panel, denominator) in [("(a)", 16u32), ("(b)", 8u32)] {
+        let series = timed(&format!("panel {panel} (#HT = N/{denominator})"), || {
+            run_panel(denominator, &seeds)
+        });
+        println!("\n--- Fig. 4 {panel}: #HTs = system size / {denominator} ---");
+        for s in &series {
+            print!("{}", s.to_table());
+        }
+        // Shape checks at every size: center >= random >= corner.
+        let (center, random, corner) = (&series[0], &series[1], &series[2]);
+        let ordered = center
+            .points
+            .iter()
+            .zip(&random.points)
+            .zip(&corner.points)
+            .all(|(((_, c), (_, r)), (_, k))| c >= r && r >= k);
+        println!("shape: center >= random >= corner at all sizes = {ordered}");
+        // The paper's 256-node call-outs.
+        let at = |s: &Series, size: f64| {
+            s.points
+                .iter()
+                .find(|(x, _)| *x == size)
+                .map(|(_, y)| *y)
+                .unwrap_or(0.0)
+        };
+        let (c, r, k) = (at(center, 256.0), at(random, 256.0), at(corner, 256.0));
+        if r > 0.0 && k > 0.0 {
+            println!(
+                "shape @256 nodes: center/random = {:.2}x (paper 1.59x), center/corner = {:.2}x (paper 9.85x)",
+                c / r,
+                c / k
+            );
+        }
+    }
+}

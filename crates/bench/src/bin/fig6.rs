@@ -1,0 +1,67 @@
+//! Regenerates **Fig. 6** of the paper: per-application performance change
+//! Θ vs. infection rate, one panel per mix (a–d).
+//!
+//! Paper call-outs to reproduce:
+//! - (a) mix-1 at infection 0.5: attackers gain up to ≈1.2×, the victim
+//!   drops to ≈0.6×;
+//! - (c) mix-3 at infection 0.5: the attacker improves by up to ≈1.35×;
+//! - (d) mix-4 at infection 0.5: victims degrade to ≈0.8×.
+
+use htpb_bench::{banner, timed};
+use htpb_core::{attack_sweep, AppRole, CampaignConfig, Mix, Series};
+
+fn main() {
+    banner("Fig. 6", "per-application performance change vs. infection");
+    let duties: Vec<f64> = (0..=9).map(|i| f64::from(i) / 10.0).collect();
+    for (panel, mix) in ["(a)", "(b)", "(c)", "(d)"].iter().zip(Mix::ALL) {
+        let cfg = CampaignConfig::new(mix);
+        let points = timed(mix.name(), || attack_sweep(&cfg, &duties));
+        println!("\n--- Fig. 6 {panel}: {} ---", mix.name());
+
+        // One series per application in the mix.
+        let napps = points
+            .first()
+            .map_or(0, |p| p.outcome.changes.len());
+        let mut series: Vec<Series> = (0..napps)
+            .map(|i| {
+                let (_, role, _) = points[0].outcome.changes[i];
+                let bench = mix
+                    .attackers()
+                    .iter()
+                    .chain(mix.victims())
+                    .nth(i)
+                    .expect("app order is attackers then victims");
+                Series::new(format!(
+                    "{bench} ({})",
+                    if role == AppRole::Malicious {
+                        "attacker"
+                    } else {
+                        "victim"
+                    }
+                ))
+            })
+            .collect();
+        for p in &points {
+            for (i, (_, _, change)) in p.outcome.changes.iter().enumerate() {
+                series[i].push(p.infection, *change);
+            }
+        }
+        for s in &series {
+            print!("{}", s.to_table());
+        }
+
+        // Call-out near infection 0.5.
+        if let Some(mid) = points
+            .iter()
+            .min_by(|a, b| (a.infection - 0.5).abs().total_cmp(&(b.infection - 0.5).abs()))
+        {
+            println!(
+                "shape @infection {:.2}: best attacker gain {:.2}x, worst victim {:.2}x",
+                mid.infection,
+                mid.outcome.max_attacker_gain(),
+                mid.outcome.min_victim_change()
+            );
+        }
+    }
+    println!("\n(paper: mix-1 @0.5 -> attackers ~1.2x, victims ~0.6x; mix-3 attacker up to ~1.35x; mix-4 victims ~0.8x)");
+}

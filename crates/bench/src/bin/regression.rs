@@ -1,0 +1,81 @@
+//! Fits the **Eq. 9** linear attack-effect model on a measured dataset:
+//!
+//! `Q ≈ a₁ρ + a₂η + a₃m + Σ b_j Φ_γj + Σ c_k Φ_δk + a₀`
+//!
+//! The dataset sweeps Trojan placements (varying ρ, η and m) across all
+//! four Table-III mixes (varying the sensitivity sums), measures Q in the
+//! full simulator for each configuration, and reports the fitted
+//! coefficients with the training R².
+//!
+//! Expected signs (Section IV-B): a₁ < 0 (farther virtual center → weaker
+//! attack), a₃ > 0 (more Trojans → stronger attack).
+
+use htpb_bench::{banner, timed};
+use htpb_core::{
+    regression_dataset, AttackModel, CampaignConfig, ManagerLocation, Mesh2d, Mix, Placement,
+    PlacementStrategy,
+};
+
+fn main() {
+    banner("Eq. 9", "linear attack-effect regression");
+    // A 128-node platform keeps the 48-campaign dataset affordable while
+    // preserving the spatial dynamics the model regresses over.
+    let mut base = CampaignConfig::new(Mix::Mix1);
+    base.nodes = 128;
+    let mesh = Mesh2d::with_nodes(base.nodes).expect("mesh");
+    let manager = ManagerLocation::Center.resolve(mesh);
+
+    // Placement variants spanning (rho, eta, m).
+    let mut placements = Vec::new();
+    for m in [4usize, 8, 16] {
+        // Clusters at increasing distance from the manager.
+        for anchor in [manager, htpb_core::NodeId(24), htpb_core::NodeId(0)] {
+            placements.push(Placement::generate(
+                mesh,
+                m,
+                &PlacementStrategy::ClusterAround { anchor },
+                &[manager],
+            ));
+        }
+        // One random scatter (high eta).
+        placements.push(Placement::generate(
+            mesh,
+            m,
+            &PlacementStrategy::Random { seed: m as u64 },
+            &[manager],
+        ));
+    }
+    println!(
+        "dataset: {} placements x {} mixes = {} simulated campaigns",
+        placements.len(),
+        Mix::ALL.len(),
+        placements.len() * Mix::ALL.len()
+    );
+
+    let samples = timed("simulate dataset", || {
+        regression_dataset(&base, &Mix::ALL, &placements)
+    });
+    println!("\n# rho\teta\tm\tphiV\tphiA\tQ");
+    for s in &samples {
+        println!(
+            "{:.2}\t{:.2}\t{:.0}\t{:.2}\t{:.2}\t{:.3}",
+            s.rho, s.eta, s.m, s.phi_victims, s.phi_attackers, s.q
+        );
+    }
+
+    let model = AttackModel::fit(&samples).expect("dataset is well-conditioned");
+    println!("\nfitted Eq. 9 coefficients:");
+    println!("  a0 (intercept)      = {:+.4}", model.a0());
+    println!("  a1 (rho)            = {:+.4}", model.a1_rho());
+    println!("  a2 (eta)            = {:+.4}", model.a2_eta());
+    println!("  a3 (m)              = {:+.4}", model.a3_m());
+    println!("  b  (sum phi victims)  = {:+.4}", model.b_phi_victims());
+    println!("  c  (sum phi attackers)= {:+.4}", model.c_phi_attackers());
+    println!("  R^2                 = {:.4}", model.r2());
+    println!();
+    println!(
+        "shape: a1 < 0 (distance hurts) = {}; a3 > 0 (more HTs help) = {}",
+        model.a1_rho() < 0.0,
+        model.a3_m() > 0.0
+    );
+}

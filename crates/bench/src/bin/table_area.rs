@@ -1,0 +1,46 @@
+//! Regenerates the **Section III-D** area/power accounting: one Trojan vs.
+//! one DSENT router, and the 60-Trojan 512-node chip-level totals.
+//!
+//! These are the paper's stealth numbers and are reproduced exactly — they
+//! are arithmetic over the recorded synthesis constants.
+
+use htpb_bench::banner;
+use htpb_core::{AreaReport, HT_AREA_UM2, HT_POWER_UW, ROUTER_AREA_UM2, ROUTER_POWER_UW};
+
+fn main() {
+    banner("Section III-D", "HT area & power vs. router");
+    println!("constants (Synopsys DC 45nm TSMC / DSENT):");
+    println!("  HT area      = {HT_AREA_UM2} um^2");
+    println!("  HT power     = {HT_POWER_UW} uW");
+    println!("  router area  = {ROUTER_AREA_UM2} um^2");
+    println!("  router power = {ROUTER_POWER_UW} uW");
+    println!();
+
+    println!("| config          | HT area (um^2) | HT power (uW) | area % of routers | power % of routers |");
+    println!("|-----------------|----------------|---------------|-------------------|--------------------|");
+    for (label, hts, routers) in [
+        ("1 HT / 1 router ", 1usize, 1usize),
+        ("60 HTs / 512 chip", 60, 512),
+    ] {
+        let r = AreaReport::new(hts, routers);
+        println!(
+            "| {label} | {:>14.4} | {:>13.4} | {:>16.4}% | {:>17.5}% |",
+            r.trojan_area_um2(),
+            r.trojan_power_uw(),
+            r.area_fraction() * 100.0,
+            r.power_fraction() * 100.0,
+        );
+    }
+    println!();
+    println!("paper: 1 HT is ~0.017% of a router's area and ~0.0017% of its power;");
+    println!("       60 HTs are ~730.296 um^2 / 33.0108 uW, ~0.002% / ~0.0002% of a 512-node chip's routers.");
+
+    // Exact-match verification (these are recorded constants, so the
+    // reproduction must agree to the printed precision).
+    let one = AreaReport::new(1, 1);
+    assert!((one.area_fraction() * 100.0 - 0.017).abs() < 0.001);
+    let chip = AreaReport::new(60, 512);
+    assert!((chip.trojan_area_um2() - 730.296).abs() < 1e-3);
+    assert!((chip.trojan_power_uw() - 33.0108).abs() < 1e-4);
+    println!("verified: all Section III-D figures match.");
+}

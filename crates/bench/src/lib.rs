@@ -1,0 +1,52 @@
+//! Shared helpers for the figure-regeneration binaries (`src/bin/fig*.rs`)
+//! and the Criterion microbenches (`benches/`).
+//!
+//! Every binary regenerates one table or figure of the SOCC 2018 paper and
+//! prints the series in a `# label` / `x<TAB>y` format plus a human-readable
+//! summary of the shape checks (who wins, by what factor). Absolute numbers
+//! differ from the paper — the substrate is a simulator, not the authors'
+//! testbed — but the shapes are asserted.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::Instant;
+
+/// Prints a standard header for a figure binary.
+pub fn banner(figure: &str, what: &str) {
+    println!("==========================================================");
+    println!("  {figure} — {what}");
+    println!("  (reproduction; expect paper-like shapes, not numbers)");
+    println!("==========================================================");
+}
+
+/// Runs `f`, printing how long the regeneration took.
+pub fn timed<T>(label: &str, f: impl FnOnce() -> T) -> T {
+    let start = Instant::now();
+    let out = f();
+    println!("[{label}: {:.1}s]", start.elapsed().as_secs_f64());
+    out
+}
+
+/// Formats a ratio as a `+NN%` / `-NN%` string.
+#[must_use]
+pub fn pct(ratio: f64) -> String {
+    format!("{:+.0}%", ratio * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pct_formats_signed() {
+        assert_eq!(pct(0.3), "+30%");
+        assert_eq!(pct(-0.25), "-25%");
+        assert_eq!(pct(1.1), "+110%");
+    }
+
+    #[test]
+    fn timed_passes_value_through() {
+        assert_eq!(timed("t", || 42), 42);
+    }
+}

@@ -1,0 +1,657 @@
+//! Drivers for every experiment in the paper's evaluation (Section V).
+
+use htpb_attack::{
+    sensitivity_phi, AttackOutcome, AttackSample, Mix, Placement, PlacementOptimizer,
+    PlacementStrategy,
+};
+use htpb_manycore::{AppRole, ManyCoreSystem, PerformanceReport, SystemBuilder};
+use htpb_noc::{Mesh2d, Network, NetworkConfig, NodeId, Packet, RoutingKind};
+use htpb_power::{AllocatorKind, DvfsTable};
+use htpb_trojan::{ActivationSchedule, BoostRule, TamperRule, TrojanFleet, TrojanMode};
+
+use crate::series::Series;
+
+/// Where the global manager sits — the locations compared in Fig. 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ManagerLocation {
+    /// The node closest to the chip's geometric center.
+    Center,
+    /// The (0, 0) corner node.
+    Corner,
+    /// An explicit node.
+    At(NodeId),
+}
+
+impl ManagerLocation {
+    /// Resolves the location on a concrete mesh.
+    #[must_use]
+    pub fn resolve(self, mesh: Mesh2d) -> NodeId {
+        match self {
+            ManagerLocation::Center => mesh.center(),
+            ManagerLocation::Corner => mesh.corner(),
+            ManagerLocation::At(n) => n,
+        }
+    }
+}
+
+/// The infection-rate measurement rig used by Fig. 3 and Fig. 4: every
+/// non-manager node sends power requests to the manager through a NoC with
+/// implanted, always-on Trojans, and the infection rate is the fraction of
+/// delivered requests that arrived tampered (Section V-B).
+#[derive(Debug, Clone)]
+pub struct InfectionExperiment {
+    mesh: Mesh2d,
+    manager: NodeId,
+    routing: RoutingKind,
+    rounds: u32,
+}
+
+impl InfectionExperiment {
+    /// Creates the rig for a chip of `nodes` nodes (64/128/256/512 in the
+    /// paper), manager at the center, XY routing, one request round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` cannot form a mesh (zero or > 65536).
+    #[must_use]
+    pub fn new(nodes: u32) -> Self {
+        let mesh = Mesh2d::with_nodes(nodes).expect("valid node count");
+        InfectionExperiment {
+            mesh,
+            manager: mesh.center(),
+            routing: RoutingKind::Xy,
+            rounds: 1,
+        }
+    }
+
+    /// Places the manager.
+    #[must_use]
+    pub fn manager(mut self, at: ManagerLocation) -> Self {
+        self.manager = at.resolve(self.mesh);
+        self
+    }
+
+    /// Selects the routing algorithm.
+    #[must_use]
+    pub fn routing(mut self, routing: RoutingKind) -> Self {
+        self.routing = routing;
+        self
+    }
+
+    /// Number of request rounds (epochs) to average over. One suffices for
+    /// deterministic XY routing; adaptive routing benefits from more.
+    #[must_use]
+    pub fn rounds(mut self, rounds: u32) -> Self {
+        self.rounds = rounds.max(1);
+        self
+    }
+
+    /// The mesh in use.
+    #[must_use]
+    pub fn mesh(&self) -> Mesh2d {
+        self.mesh
+    }
+
+    /// The manager node in use.
+    #[must_use]
+    pub fn manager_node(&self) -> NodeId {
+        self.manager
+    }
+
+    /// Materialises a placement of `m` Trojans, never on the manager's own
+    /// router (an attacker would not waste silicon where detection risk is
+    /// highest; Fig. 3/4 sweep HTs across worker routers).
+    #[must_use]
+    pub fn placement(&self, m: usize, strategy: &PlacementStrategy) -> Placement {
+        Placement::generate(self.mesh, m, strategy, &[self.manager])
+    }
+
+    /// Runs the rig and returns the measured infection rate.
+    #[must_use]
+    pub fn measure(&self, placement: &Placement) -> f64 {
+        let mut fleet = TrojanFleet::new(placement.nodes(), TamperRule::Zero);
+        fleet.configure_all(&[], self.manager, true);
+        let mut net = Network::with_inspector(
+            NetworkConfig::new(self.mesh).with_routing(self.routing),
+            fleet,
+        );
+        for round in 0..self.rounds {
+            for src in self.mesh.iter_nodes() {
+                if src == self.manager {
+                    continue;
+                }
+                let payload = 1_000 + u32::from(src.0) + round * 7;
+                net.inject(Packet::power_request(src, self.manager, payload))
+                    .expect("infection rig injection");
+            }
+            assert!(
+                net.run_until_idle(4_000_000),
+                "infection rig failed to drain"
+            );
+        }
+        net.stats().infection_rate()
+    }
+
+    /// Averages [`InfectionExperiment::measure`] over random placements.
+    #[must_use]
+    pub fn measure_random_avg(&self, m: usize, seeds: &[u64]) -> f64 {
+        if seeds.is_empty() {
+            return 0.0;
+        }
+        let sum: f64 = seeds
+            .iter()
+            .map(|&seed| {
+                self.measure(&self.placement(m, &PlacementStrategy::Random { seed }))
+            })
+            .sum();
+        sum / seeds.len() as f64
+    }
+}
+
+/// Fig. 3 — one curve of infection rate vs. number of (randomly placed)
+/// Trojans for a given manager location. The paper shows sizes 64 (HT count
+/// 0–30) and 512 (0–60).
+#[must_use]
+pub fn fig3_series(
+    nodes: u32,
+    manager: ManagerLocation,
+    ht_counts: &[usize],
+    seeds: &[u64],
+) -> Series {
+    let exp = InfectionExperiment::new(nodes).manager(manager);
+    let label = match manager {
+        ManagerLocation::Center => "The global manager in the center",
+        ManagerLocation::Corner => "The global manager in one corner",
+        ManagerLocation::At(_) => "The global manager at a custom node",
+    };
+    let mut series = Series::new(label);
+    for &m in ht_counts {
+        series.push(m as f64, exp.measure_random_avg(m, seeds));
+    }
+    series
+}
+
+/// Fig. 4 — one curve of infection rate vs. system size for a given HT
+/// distribution, with the Trojan count a fixed fraction `1/denominator` of
+/// the system size (the paper uses 1/16 and 1/8). Manager at the center.
+#[must_use]
+pub fn fig4_series(
+    sizes: &[u32],
+    strategy_label: &str,
+    strategy_for: impl Fn(u64) -> PlacementStrategy,
+    denominator: u32,
+    seeds: &[u64],
+) -> Series {
+    let mut series = Series::new(strategy_label);
+    for &nodes in sizes {
+        let exp = InfectionExperiment::new(nodes).manager(ManagerLocation::Center);
+        let m = (nodes / denominator).max(1) as usize;
+        let rate = match strategy_for(0) {
+            PlacementStrategy::Random { .. } => exp.measure_random_avg(m, seeds),
+            _ => exp.measure(&exp.placement(m, &strategy_for(0))),
+        };
+        series.push(f64::from(nodes), rate);
+    }
+    series
+}
+
+/// Configuration of a full attack campaign (the Fig. 5 / Fig. 6 rig): a
+/// benchmark mix on a many-core chip with a Trojan fleet, compared against
+/// the same chip clean.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Chip size in nodes (the paper uses 256 for Section V-C).
+    pub nodes: u32,
+    /// The benchmark mix (Table III).
+    pub mix: Mix,
+    /// Manager location.
+    pub manager: ManagerLocation,
+    /// Allocation policy.
+    pub allocator: AllocatorKind,
+    /// Routing algorithm.
+    pub routing: RoutingKind,
+    /// Budgeting epoch length in cycles; `None` picks `max(1000, 4·nodes)`.
+    pub epoch_cycles: Option<u64>,
+    /// Chip budget as a fraction of honest demand.
+    pub budget_fraction: f64,
+    /// Epochs of warm-up before measurement.
+    pub warmup_epochs: u64,
+    /// Epochs measured. Keep it a multiple of 10 so duty-cycled activation
+    /// covers whole schedule periods.
+    pub measure_epochs: u64,
+    /// Trojan payload rewrite rule.
+    pub tamper_rule: TamperRule,
+    /// Optional attacker-side boost extension: infected routers also
+    /// inflate the attacker's own requests (paper intro: malicious
+    /// requests "will be increased"). `None` reproduces the Fig. 2 circuit
+    /// exactly.
+    pub ht_boost: Option<BoostRule>,
+    /// DoS class of the implanted Trojans: the paper's false-data rewrite
+    /// (default), or the Section II-B packet-drop baseline.
+    pub ht_mode: TrojanMode,
+    /// Trojan placement; `None` places a tight 5-Trojan cluster on the
+    /// manager's neighbourhood (full route coverage).
+    pub placement: Option<Placement>,
+    /// Background memory traffic on/off.
+    pub memory_traffic: bool,
+    /// Detailed cache/coherence model instead of the rate-based one.
+    pub detailed_caches: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl CampaignConfig {
+    /// Defaults mirroring Section V-C: 256 nodes, manager at the center,
+    /// fair-share allocation (the policy family the attack subverts most
+    /// visibly), XY routing, scarce (60%) budget.
+    #[must_use]
+    pub fn new(mix: Mix) -> Self {
+        CampaignConfig {
+            nodes: 256,
+            mix,
+            manager: ManagerLocation::Center,
+            allocator: AllocatorKind::FairShare,
+            routing: RoutingKind::Xy,
+            epoch_cycles: None,
+            budget_fraction: 0.6,
+            warmup_epochs: 2,
+            measure_epochs: 10,
+            tamper_rule: TamperRule::Zero,
+            ht_boost: None,
+            ht_mode: TrojanMode::FalseData,
+            placement: None,
+            memory_traffic: true,
+            detailed_caches: false,
+            seed: 0xA77AC,
+        }
+    }
+
+    /// Shrinks the rig for fast tests: a 64-node chip and shorter epochs.
+    #[must_use]
+    pub fn small(mix: Mix) -> Self {
+        let mut c = CampaignConfig::new(mix);
+        c.nodes = 64;
+        c.epoch_cycles = Some(600);
+        c
+    }
+
+    /// The smallest meaningful rig (32 nodes, short epochs, 5 measured
+    /// epochs at the cost of duty-cycle resolution) — for microbenchmarks
+    /// where wall-clock per iteration matters more than fidelity.
+    #[must_use]
+    pub fn tiny(mix: Mix) -> Self {
+        let mut c = CampaignConfig::new(mix);
+        c.nodes = 32;
+        c.epoch_cycles = Some(400);
+        c.warmup_epochs = 1;
+        c.measure_epochs = 5;
+        c
+    }
+
+    fn epoch(&self) -> u64 {
+        self.epoch_cycles
+            .unwrap_or_else(|| (4 * u64::from(self.nodes)).max(1_000))
+    }
+
+    fn mesh(&self) -> Mesh2d {
+        Mesh2d::with_nodes(self.nodes).expect("valid node count")
+    }
+
+    fn default_placement(&self, mesh: Mesh2d, manager: NodeId) -> Placement {
+        Placement::generate(
+            mesh,
+            5,
+            &PlacementStrategy::ClusterAround { anchor: manager },
+            &[],
+        )
+    }
+}
+
+/// The outcome of one campaign: the clean baseline, the attacked run and
+/// the derived attack metrics.
+#[derive(Debug, Clone)]
+pub struct CampaignResult {
+    /// Performance on the clean chip (the paper's Λ values).
+    pub clean: PerformanceReport,
+    /// Performance under attack (the paper's θ values).
+    pub attacked: PerformanceReport,
+    /// Derived Θ per application plus Q(Δ, Γ).
+    pub outcome: AttackOutcome,
+}
+
+fn build_system(
+    cfg: &CampaignConfig,
+    fleet: TrojanFleet,
+) -> ManyCoreSystem<TrojanFleet> {
+    let mesh = cfg.mesh();
+    let manager = cfg.manager.resolve(mesh);
+    SystemBuilder::new(mesh)
+        .manager(manager)
+        .workload(cfg.mix.workload_for_mesh(mesh))
+        .allocator(cfg.allocator)
+        .routing(cfg.routing)
+        .epoch_cycles(cfg.epoch())
+        .budget_fraction(cfg.budget_fraction)
+        .memory_traffic(cfg.memory_traffic)
+        .detailed_caches(cfg.detailed_caches)
+        .seed(cfg.seed)
+        .build_with_inspector(fleet)
+        .expect("campaign configuration is internally consistent")
+}
+
+fn run_to_report(
+    cfg: &CampaignConfig,
+    system: &mut ManyCoreSystem<TrojanFleet>,
+) -> PerformanceReport {
+    system.run_epochs(cfg.warmup_epochs);
+    system.begin_measurement();
+    system.run_epochs(cfg.measure_epochs);
+    system.performance_report()
+}
+
+/// Runs the clean (Trojan-free) baseline for a campaign configuration —
+/// the Λ values of Definition 2. Expensive; reuse it across duty points and
+/// placements via [`run_campaign_with_baseline`].
+#[must_use]
+pub fn run_clean_baseline(cfg: &CampaignConfig) -> PerformanceReport {
+    let mut clean_sys = build_system(cfg, TrojanFleet::clean());
+    run_to_report(cfg, &mut clean_sys)
+}
+
+/// Runs one campaign at a given Trojan duty fraction (1.0 = always on,
+/// 0.0 = Trojans dormant) against a clean baseline, returning both reports
+/// and the attack metrics.
+///
+/// The duty cycle models the attacker's alternating ON/OFF `CONFIG_CMD`
+/// stream (Section III-B): the schedule period spans 10 budgeting epochs,
+/// so a duty of 0.3 attacks ~3 epochs in 10 and the measured infection rate
+/// lands near 0.3.
+#[must_use]
+pub fn run_campaign(cfg: &CampaignConfig, duty: f64) -> CampaignResult {
+    let clean = run_clean_baseline(cfg);
+    run_campaign_with_baseline(cfg, duty, clean)
+}
+
+/// Like [`run_campaign`] but reusing a precomputed clean baseline (the
+/// baseline depends on the configuration, not on the placement or duty).
+#[must_use]
+pub fn run_campaign_with_baseline(
+    cfg: &CampaignConfig,
+    duty: f64,
+    clean: PerformanceReport,
+) -> CampaignResult {
+    let mesh = cfg.mesh();
+    let manager = cfg.manager.resolve(mesh);
+    let placement = cfg
+        .placement
+        .clone()
+        .unwrap_or_else(|| cfg.default_placement(mesh, manager));
+    let schedule = if duty >= 1.0 {
+        ActivationSchedule::AlwaysOn
+    } else {
+        ActivationSchedule::duty(duty, 10 * cfg.epoch())
+    };
+    let mut fleet = TrojanFleet::new(placement.nodes(), cfg.tamper_rule)
+        .with_schedule(schedule)
+        .with_mode(cfg.ht_mode);
+    if let Some(boost) = cfg.ht_boost {
+        fleet = fleet.with_boost(boost);
+    }
+    let mut attacked_sys = build_system(cfg, fleet);
+    // Register every attacker-application core as an agent (the attacker
+    // broadcasts one CONFIG_CMD per agent core; DESIGN.md §4).
+    let agents: Vec<NodeId> = attacked_sys
+        .tiles()
+        .iter()
+        .filter(|t| {
+            t.assignment()
+                .is_some_and(|a| a.role == AppRole::Malicious)
+        })
+        .map(|t| t.node())
+        .collect();
+    attacked_sys
+        .inspector_mut()
+        .configure_all(&agents, manager, true);
+    let attacked = run_to_report(cfg, &mut attacked_sys);
+
+    let outcome = AttackOutcome::compare(&attacked, &clean)
+        .expect("mixes always contain attackers and victims with live baselines");
+    CampaignResult {
+        clean,
+        attacked,
+        outcome,
+    }
+}
+
+/// One point of the Fig. 5 / Fig. 6 sweep.
+#[derive(Debug, Clone)]
+pub struct AttackSweepPoint {
+    /// Commanded Trojan duty fraction.
+    pub duty: f64,
+    /// Measured infection rate (x axis of Fig. 5/6).
+    pub infection: f64,
+    /// Attack effect Q (y axis of Fig. 5).
+    pub q_value: f64,
+    /// Per-application Θ (y axis of Fig. 6), in application order.
+    pub outcome: AttackOutcome,
+}
+
+/// Sweeps the Trojan duty cycle and reports (infection rate, Q, per-app Θ)
+/// per point — the data behind Fig. 5 and Fig. 6. The clean baseline is
+/// computed once per call.
+#[must_use]
+pub fn attack_sweep(cfg: &CampaignConfig, duties: &[f64]) -> Vec<AttackSweepPoint> {
+    let clean = run_clean_baseline(cfg);
+    duties
+        .iter()
+        .map(|&duty| {
+            let result = run_campaign_with_baseline(cfg, duty, clean.clone());
+            AttackSweepPoint {
+                duty,
+                infection: result.outcome.infection_rate,
+                q_value: result.outcome.q_value,
+                outcome: result.outcome,
+            }
+        })
+        .collect()
+}
+
+/// Result of the Section V-C placement comparison: the attack effect with
+/// the optimizer's placement vs. randomly placed Trojans.
+#[derive(Debug, Clone)]
+pub struct OptComparison {
+    /// Q with the optimized placement (Eqs. 10–11).
+    pub q_optimal: f64,
+    /// Mean Q over the random placements.
+    pub q_random: f64,
+    /// `q_optimal / q_random − 1` (the paper reports ≈+30% for mixes 1–3
+    /// and ≈+110% for mix 4 with 16 HTs on 256 nodes).
+    pub improvement: f64,
+    /// The optimized placement used.
+    pub optimal_placement: Placement,
+}
+
+/// Compares the optimized placement of `m` Trojans against random
+/// placements for one mix (Section V-C, second experiment).
+#[must_use]
+pub fn optimal_vs_random(cfg: &CampaignConfig, m: usize, random_seeds: &[u64]) -> OptComparison {
+    let mesh = cfg.mesh();
+    let manager = cfg.manager.resolve(mesh);
+    // The optimizer may not use the manager's own router: Fig. 3/4 treat it
+    // as off-limits (and a Trojan there is trivially optimal).
+    let optimal = PlacementOptimizer::new(mesh, manager, m)
+        .exclude(&[manager])
+        .optimize();
+    // Both variants run at the paper's evaluation ceiling of 0.9 infection
+    // (Fig. 5's x axis tops out there): duty-cycling to 0.9 keeps the
+    // attacker's stealth margin and keeps Q on the measured part of the
+    // curve.
+    let duty = 0.9;
+    let clean = run_clean_baseline(cfg);
+
+    let mut opt_cfg = cfg.clone();
+    opt_cfg.placement = Some(optimal.placement.clone());
+    let q_optimal = run_campaign_with_baseline(&opt_cfg, duty, clean.clone())
+        .outcome
+        .q_value;
+
+    let mut q_sum = 0.0;
+    for &seed in random_seeds {
+        let mut rnd_cfg = cfg.clone();
+        rnd_cfg.placement = Some(Placement::generate(
+            mesh,
+            m,
+            &PlacementStrategy::Random { seed },
+            &[manager],
+        ));
+        q_sum += run_campaign_with_baseline(&rnd_cfg, duty, clean.clone())
+            .outcome
+            .q_value;
+    }
+    let q_random = q_sum / random_seeds.len().max(1) as f64;
+    OptComparison {
+        q_optimal,
+        q_random,
+        improvement: q_optimal / q_random - 1.0,
+        optimal_placement: optimal.placement,
+    }
+}
+
+/// Builds the Eq.-9 regression dataset: for each mix and each placement
+/// variant, runs a full campaign at the paper's evaluation ceiling (0.9
+/// duty, matching Fig. 5's 0.9-infection axis) and records
+/// (ρ, η, m, ΣΦ_victims, ΣΦ_attackers, Q).
+#[must_use]
+pub fn regression_dataset(
+    base: &CampaignConfig,
+    mixes: &[Mix],
+    placements: &[Placement],
+) -> Vec<AttackSample> {
+    let table = DvfsTable::default_six_level();
+    let mesh = base.mesh();
+    let manager = base.manager.resolve(mesh);
+    let mut samples = Vec::new();
+    for &mix in mixes {
+        let phi_attackers: f64 = mix
+            .attackers()
+            .iter()
+            .map(|b| sensitivity_phi(&b.profile(), &table))
+            .sum();
+        let phi_victims: f64 = mix
+            .victims()
+            .iter()
+            .map(|b| sensitivity_phi(&b.profile(), &table))
+            .sum();
+        let mut mix_cfg = base.clone();
+        mix_cfg.mix = mix;
+        let clean = run_clean_baseline(&mix_cfg);
+        for placement in placements {
+            let mut cfg = mix_cfg.clone();
+            cfg.placement = Some(placement.clone());
+            let result = run_campaign_with_baseline(&cfg, 0.9, clean.clone());
+            samples.push(AttackSample {
+                rho: placement.distance_rho(mesh, manager).unwrap_or(0.0),
+                eta: placement.density_eta(mesh).unwrap_or(0.0),
+                m: placement.len() as f64,
+                phi_victims,
+                phi_attackers,
+                q: result.outcome.q_value,
+            });
+        }
+    }
+    samples
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manager_location_resolution() {
+        let mesh = Mesh2d::new(8, 8).unwrap();
+        assert_eq!(ManagerLocation::Center.resolve(mesh), mesh.center());
+        assert_eq!(ManagerLocation::Corner.resolve(mesh), NodeId(0));
+        assert_eq!(ManagerLocation::At(NodeId(9)).resolve(mesh), NodeId(9));
+    }
+
+    #[test]
+    fn zero_trojans_zero_infection() {
+        let exp = InfectionExperiment::new(64);
+        let p = exp.placement(0, &PlacementStrategy::CenterCluster);
+        assert_eq!(exp.measure(&p), 0.0);
+    }
+
+    #[test]
+    fn infection_grows_with_ht_count() {
+        let exp = InfectionExperiment::new(64);
+        let few = exp.measure_random_avg(2, &[1, 2]);
+        let many = exp.measure_random_avg(24, &[1, 2]);
+        assert!(many > few, "many {many} <= few {few}");
+        assert!(many > 0.5, "24/64 random Trojans should catch most routes");
+    }
+
+    #[test]
+    fn corner_manager_has_higher_infection() {
+        // Fig. 3's headline: corner placement of the manager lengthens
+        // routes and raises infection for the same HT count.
+        let seeds = [11, 22, 33];
+        let m = 8;
+        let center = InfectionExperiment::new(64)
+            .manager(ManagerLocation::Center)
+            .measure_random_avg(m, &seeds);
+        let corner = InfectionExperiment::new(64)
+            .manager(ManagerLocation::Corner)
+            .measure_random_avg(m, &seeds);
+        assert!(
+            corner > center,
+            "corner {corner} should exceed center {center}"
+        );
+    }
+
+    #[test]
+    fn analytic_matches_simulation_for_xy() {
+        let exp = InfectionExperiment::new(64);
+        for seed in [5u64, 9] {
+            let p = exp.placement(6, &PlacementStrategy::Random { seed });
+            let simulated = exp.measure(&p);
+            let analytic = htpb_attack::analytic_infection_rate(
+                exp.mesh(),
+                exp.manager_node(),
+                p.nodes(),
+                None,
+            );
+            assert!(
+                (simulated - analytic).abs() < 1e-9,
+                "seed {seed}: sim {simulated} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn fig3_series_shape() {
+        let s = fig3_series(64, ManagerLocation::Center, &[0, 4, 16], &[1, 2]);
+        assert_eq!(s.points.len(), 3);
+        assert_eq!(s.points[0].1, 0.0);
+        assert!(s.is_monotonic_nondecreasing());
+    }
+
+    #[test]
+    fn fig4_center_beats_corner_distribution() {
+        let sizes = [64u32];
+        let center = fig4_series(
+            &sizes,
+            "HTs around the center",
+            |_| PlacementStrategy::CenterCluster,
+            16,
+            &[1],
+        );
+        let corner = fig4_series(
+            &sizes,
+            "HTs in one corner",
+            |_| PlacementStrategy::CornerCluster,
+            16,
+            &[1],
+        );
+        assert!(center.points[0].1 > corner.points[0].1);
+    }
+}

@@ -1,0 +1,136 @@
+//! Human-readable descriptions of the evaluation platform: the paper's
+//! configuration tables rendered from the *actual* defaults in code, so the
+//! printed platform can never drift from the simulated one.
+
+use htpb_attack::{sensitivity_phi, Mix};
+use htpb_manycore::{Benchmark, SystemConfig};
+use htpb_power::{DvfsTable, PowerModel};
+use htpb_noc::RouterConfig;
+
+/// Renders the Table-I-equivalent platform configuration.
+#[must_use]
+pub fn describe_platform(config: &SystemConfig) -> String {
+    let router = RouterConfig::default();
+    let model = PowerModel::default_45nm();
+    let mut s = String::new();
+    s.push_str("Platform configuration (cf. paper Table I)\n");
+    s.push_str(&format!(
+        "  processors           : {} ({}x{} mesh, node {} is the global manager)\n",
+        config.mesh.nodes(),
+        config.mesh.width(),
+        config.mesh.height(),
+        config.manager.raw(),
+    ));
+    s.push_str(&format!(
+        "  DVFS                 : {} levels, {:.0} mW – {:.0} mW per core\n",
+        model.table().levels(),
+        model.min_power_mw(),
+        model.peak_power_mw(),
+    ));
+    s.push_str(&format!(
+        "  power budgeting      : {} allocator, epoch {} cycles, budget {}\n",
+        config.allocator.name(),
+        config.epoch_cycles,
+        config
+            .budget_mw
+            .map_or_else(|| format!("{:.0}% of honest demand", config.budget_fraction * 100.0),
+                         |mw| format!("{mw:.0} mW")),
+    ));
+    s.push_str(&format!(
+        "  NoC                  : {:?} routing, {} VCs x {}-flit buffers, 2-cycle routers, 1-cycle links\n",
+        config.routing, router.vcs, router.buffer_depth,
+    ));
+    s.push_str(&format!(
+        "  memory               : L2 hit {} cycles, memory {} cycles, {} traffic model\n",
+        config.l2_hit_latency,
+        config.memory_latency,
+        if config.detailed_caches {
+            "detailed (L1 + MESI directory)"
+        } else {
+            "rate-based"
+        },
+    ));
+    s
+}
+
+/// Renders the Table-II benchmark suite with each profile's key parameters
+/// and power-budget sensitivity (Definition 5).
+#[must_use]
+pub fn describe_benchmarks() -> String {
+    let table = DvfsTable::default_six_level();
+    let mut s = String::new();
+    s.push_str("Benchmark suite (cf. paper Table II)\n");
+    s.push_str("  name            CPI_comp  t_mem(ns)  L2/kinstr  sensitivity Phi\n");
+    let mut rows: Vec<(Benchmark, f64)> = Benchmark::ALL
+        .iter()
+        .map(|b| (*b, sensitivity_phi(&b.profile(), &table)))
+        .collect();
+    rows.sort_by(|a, b| b.1.total_cmp(&a.1));
+    for (b, phi) in rows {
+        let p = b.profile();
+        s.push_str(&format!(
+            "  {:<15} {:>8.2} {:>10.3} {:>10.1} {:>14.3}\n",
+            b.name(),
+            p.cpi_compute,
+            p.mem_ns_per_instr,
+            p.l2_accesses_per_kinstr,
+            phi,
+        ));
+    }
+    s
+}
+
+/// Renders the Table-III mixes.
+#[must_use]
+pub fn describe_mixes() -> String {
+    let mut s = String::new();
+    s.push_str("Benchmark combinations (cf. paper Table III)\n");
+    for mix in Mix::ALL {
+        let attackers: Vec<&str> = mix.attackers().iter().map(|b| b.name()).collect();
+        let victims: Vec<&str> = mix.victims().iter().map(|b| b.name()).collect();
+        s.push_str(&format!(
+            "  {}: attackers [{}], victims [{}]\n",
+            mix.name(),
+            attackers.join(", "),
+            victims.join(", "),
+        ));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htpb_noc::Mesh2d;
+
+    #[test]
+    fn platform_description_reflects_config() {
+        let mesh = Mesh2d::new(16, 16).unwrap();
+        let mut config = SystemConfig::new(mesh);
+        config.budget_mw = Some(123_456.0);
+        let s = describe_platform(&config);
+        assert!(s.contains("256 (16x16 mesh"));
+        assert!(s.contains("123456 mW"));
+        assert!(s.contains("greedy allocator"));
+        assert!(s.contains("4 VCs x 5-flit buffers"));
+    }
+
+    #[test]
+    fn benchmark_table_lists_all_eleven_sorted_by_sensitivity() {
+        let s = describe_benchmarks();
+        for b in Benchmark::ALL {
+            assert!(s.contains(b.name()), "{} missing", b.name());
+        }
+        // Most sensitive (compute-bound) first.
+        let swaptions = s.find("swaptions").unwrap();
+        let canneal = s.find("canneal").unwrap();
+        assert!(swaptions < canneal);
+    }
+
+    #[test]
+    fn mix_table_matches_table_iii() {
+        let s = describe_mixes();
+        assert!(s.contains("mix-4: attackers [barnes, streamcluster, freqmine], victims [raytrace]"));
+        assert!(s.contains("mix-3: attackers [canneal]"));
+    }
+}

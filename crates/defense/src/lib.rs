@@ -1,0 +1,55 @@
+//! Detection and localization countermeasures against the power-budget
+//! hardware Trojan.
+//!
+//! The paper closes with "more research on detection and protection against
+//! such attacks is needed" (Section VI). This crate implements that future
+//! work at the level the attack operates on:
+//!
+//! - [`RequestAnomalyDetector`] — a manager-side statistical monitor: each
+//!   core's request stream is tracked with an exponentially weighted moving
+//!   average; a request that collapses far below the core's own history is
+//!   flagged. Zeroing and aggressive down-scaling Trojans light up
+//!   immediately; the detector needs no cryptography and no protocol
+//!   changes.
+//! - [`ProbePlan`] / [`ProbeCampaign`] — active probing: cooperating cores
+//!   send requests whose values follow a keyed pseudo-random schedule the
+//!   manager can recompute, so *any* in-flight modification — including the
+//!   gentle scaling that slips under the EWMA threshold — is caught,
+//!   without adding a single bit to the packet format.
+//! - [`TrojanLocalizer`] — turns detector output into *where*: tampered
+//!   requests travelled some route to the manager, so the infected routers
+//!   lie on the intersection of the flagged sources' routes minus routers
+//!   that clean requests provably traversed. A greedy set-cover pass
+//!   recovers a minimal set of suspects that explains every flagged route.
+//!
+//! For the *prevention* side (keyed checksums over the packet's OPTIONS
+//! field), see `htpb_manycore::RequestProtection` — the two compose: the
+//! checksum neutralises the attack while the localizer pinpoints which
+//! routers to fuse off. [`DefenseSuite`] bundles detector, probing and
+//! localization behind one manager-side facade:
+//!
+//! ```
+//! use htpb_defense::{DefenseSuite, ProbePlan};
+//! use htpb_noc::{Mesh2d, NodeId};
+//!
+//! let mesh = Mesh2d::new(4, 4).unwrap();
+//! let mut suite = DefenseSuite::new(mesh, mesh.center(), ProbePlan::default_band(7));
+//! // A request stream that collapses is flagged and localized.
+//! suite.observe_request(NodeId(3), 0, 2_000.0);
+//! suite.observe_request(NodeId(3), 1, 2_000.0);
+//! suite.observe_request(NodeId(3), 2, 0.0);
+//! assert!(suite.verdict().compromised);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod detector;
+mod localizer;
+mod probe;
+mod suite;
+
+pub use detector::{AnomalyEvent, DetectorConfig, RequestAnomalyDetector};
+pub use localizer::{LocalizationReport, TrojanLocalizer};
+pub use probe::{ProbeCampaign, ProbePlan};
+pub use suite::{DefenseSuite, SuiteVerdict};

@@ -1,0 +1,215 @@
+use std::collections::{BTreeMap, BTreeSet};
+
+use htpb_noc::{Mesh2d, NodeId};
+
+/// Outcome of a localization pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LocalizationReport {
+    /// Routers consistent with *every* observation: they lie on at least
+    /// one flagged route and on no clean route. The true Trojans are a
+    /// subset of this set whenever the observations are consistent.
+    pub suspects: Vec<NodeId>,
+    /// A minimal explaining set: a greedy set cover of the flagged routes
+    /// using only suspects — the cheapest hypothesis for "which routers are
+    /// infected".
+    pub minimal_explanation: Vec<NodeId>,
+    /// Flagged sources whose route contains no suspect (evidence of
+    /// inconsistent observations, e.g. an intermittent duty-cycled Trojan
+    /// that also let clean requests through the same router).
+    pub unexplained: Vec<NodeId>,
+}
+
+/// Localizes Trojan-infected routers from which sources' requests arrived
+/// tampered and which arrived clean.
+///
+/// Under deterministic XY routing the route of every request is known to
+/// the manager, so each flagged source accuses its whole route and each
+/// clean source exonerates its whole route. The intersection logic needs no
+/// hardware support beyond the detector feeding it.
+///
+/// Duty-cycled Trojans blur the picture: a router can carry both a tampered
+/// and a clean request in different epochs. Callers should feed
+/// *per-epoch* clean sets (only sources observed clean in an epoch where
+/// tampering was also observed prove anything) or accept a larger suspect
+/// set.
+#[derive(Debug, Clone)]
+pub struct TrojanLocalizer {
+    mesh: Mesh2d,
+    manager: NodeId,
+}
+
+impl TrojanLocalizer {
+    /// Creates a localizer for a chip with its manager at `manager`.
+    #[must_use]
+    pub fn new(mesh: Mesh2d, manager: NodeId) -> Self {
+        TrojanLocalizer { mesh, manager }
+    }
+
+    /// The XY route a request from `src` takes to the manager, excluding
+    /// the source's own router (a Trojan there could be detected locally by
+    /// the core) — kept inclusive of the manager router.
+    fn route(&self, src: NodeId) -> Vec<NodeId> {
+        self.mesh.xy_path(src, self.manager)
+    }
+
+    /// Runs localization over flagged and clean source sets.
+    #[must_use]
+    pub fn localize(&self, flagged: &[NodeId], clean: &[NodeId]) -> LocalizationReport {
+        let mut exonerated: BTreeSet<NodeId> = BTreeSet::new();
+        for src in clean {
+            for node in self.route(*src) {
+                exonerated.insert(node);
+            }
+        }
+        // Candidate suspects per flagged route.
+        let routes: Vec<(NodeId, BTreeSet<NodeId>)> = flagged
+            .iter()
+            .map(|src| {
+                let set: BTreeSet<NodeId> = self
+                    .route(*src)
+                    .into_iter()
+                    .filter(|n| !exonerated.contains(n))
+                    .collect();
+                (*src, set)
+            })
+            .collect();
+        let mut suspects: BTreeSet<NodeId> = BTreeSet::new();
+        for (_, set) in &routes {
+            suspects.extend(set.iter().copied());
+        }
+
+        // Greedy set cover: repeatedly pick the suspect on the most
+        // still-unexplained flagged routes.
+        let mut unexplained_routes: Vec<&(NodeId, BTreeSet<NodeId>)> =
+            routes.iter().filter(|(_, s)| !s.is_empty()).collect();
+        let mut minimal: Vec<NodeId> = Vec::new();
+        while !unexplained_routes.is_empty() {
+            let mut counts: BTreeMap<NodeId, usize> = BTreeMap::new();
+            for (_, set) in &unexplained_routes {
+                for n in set.iter() {
+                    *counts.entry(*n).or_default() += 1;
+                }
+            }
+            let Some((&best, _)) = counts.iter().max_by_key(|(n, c)| (**c, std::cmp::Reverse(n.0)))
+            else {
+                break;
+            };
+            minimal.push(best);
+            unexplained_routes.retain(|(_, set)| !set.contains(&best));
+        }
+        minimal.sort_unstable();
+
+        let unexplained: Vec<NodeId> = routes
+            .iter()
+            .filter(|(_, set)| set.is_empty())
+            .map(|(src, _)| *src)
+            .collect();
+
+        LocalizationReport {
+            suspects: suspects.into_iter().collect(),
+            minimal_explanation: minimal,
+            unexplained,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Mesh2d, TrojanLocalizer, NodeId) {
+        let mesh = Mesh2d::new(8, 8).unwrap();
+        let manager = mesh.center();
+        (mesh, TrojanLocalizer::new(mesh, manager), manager)
+    }
+
+    #[test]
+    fn single_trojan_pinned_exactly() {
+        let (mesh, loc, manager) = setup();
+        // Trojan at one node; flag every source whose route crosses it,
+        // mark everyone else clean.
+        let trojan = NodeId(20);
+        let mut flagged = Vec::new();
+        let mut clean = Vec::new();
+        for src in mesh.iter_nodes() {
+            if src == manager {
+                continue;
+            }
+            if mesh.xy_path(src, manager).contains(&trojan) {
+                flagged.push(src);
+            } else {
+                clean.push(src);
+            }
+        }
+        let report = loc.localize(&flagged, &clean);
+        assert!(report.suspects.contains(&trojan));
+        assert!(report.unexplained.is_empty());
+        assert!(report.minimal_explanation.contains(&trojan));
+        // The minimal explanation should be tiny — ideally exactly the
+        // Trojan (plus possibly unresolvable same-route shadows).
+        assert!(
+            report.minimal_explanation.len() <= 2,
+            "{:?}",
+            report.minimal_explanation
+        );
+    }
+
+    #[test]
+    fn clean_routes_exonerate() {
+        let (_, loc, manager) = setup();
+        // Flag one source, and mark a second source sharing most of the
+        // route as clean: the shared segment is exonerated.
+        let flagged = vec![NodeId(0)];
+        let clean = vec![NodeId(1)];
+        let report = loc.localize(&flagged, &clean);
+        // Node 1's XY route to the center shares everything except node 0
+        // itself.
+        assert_eq!(report.suspects, vec![NodeId(0)]);
+        let _ = manager;
+    }
+
+    #[test]
+    fn no_flags_no_suspects() {
+        let (mesh, loc, manager) = setup();
+        let clean: Vec<NodeId> = mesh.iter_nodes().filter(|n| *n != manager).collect();
+        let report = loc.localize(&[], &clean);
+        assert!(report.suspects.is_empty());
+        assert!(report.minimal_explanation.is_empty());
+        assert!(report.unexplained.is_empty());
+    }
+
+    #[test]
+    fn inconsistent_observation_reported_unexplained() {
+        let (_, loc, _) = setup();
+        // The same source flagged AND clean: its whole route is exonerated,
+        // so the flagged route has no candidates left.
+        let report = loc.localize(&[NodeId(3)], &[NodeId(3)]);
+        assert_eq!(report.unexplained, vec![NodeId(3)]);
+        assert!(report.suspects.is_empty());
+    }
+
+    #[test]
+    fn two_trojans_need_two_explanations() {
+        let (mesh, loc, manager) = setup();
+        let trojans = [NodeId(1), NodeId(62)];
+        let mut flagged = Vec::new();
+        let mut clean = Vec::new();
+        for src in mesh.iter_nodes() {
+            if src == manager {
+                continue;
+            }
+            let path = mesh.xy_path(src, manager);
+            if trojans.iter().any(|t| path.contains(t)) {
+                flagged.push(src);
+            } else {
+                clean.push(src);
+            }
+        }
+        let report = loc.localize(&flagged, &clean);
+        for t in trojans {
+            assert!(report.suspects.contains(&t), "missing {t}");
+        }
+        assert!(report.minimal_explanation.len() >= 2);
+        assert!(report.unexplained.is_empty());
+    }
+}

@@ -1,0 +1,184 @@
+use htpb_noc::{Mesh2d, NodeId};
+
+use crate::detector::{DetectorConfig, RequestAnomalyDetector};
+use crate::localizer::{LocalizationReport, TrojanLocalizer};
+use crate::probe::{ProbeCampaign, ProbePlan};
+
+/// The combined verdict of a defense-suite pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SuiteVerdict {
+    /// Cores flagged by the passive EWMA detector.
+    pub ewma_flagged: Vec<NodeId>,
+    /// Cores whose probes came back altered.
+    pub probe_flagged: Vec<NodeId>,
+    /// Localization over the union of flagged sources.
+    pub localization: LocalizationReport,
+    /// Whether any evidence of tampering was found.
+    pub compromised: bool,
+}
+
+/// A manager-side defense orchestrator combining all three passive/active
+/// mechanisms of this crate:
+///
+/// 1. every received workload request feeds the EWMA
+///    [`RequestAnomalyDetector`];
+/// 2. delivered probe requests are checked against the keyed
+///    [`ProbePlan`];
+/// 3. on demand, the accumulated evidence is handed to the
+///    [`TrojanLocalizer`], which names suspect routers.
+///
+/// The suite is transport-agnostic, like [`htpb_power::GlobalManager`]-style
+/// components: the system layer feeds it deliveries and asks for verdicts.
+#[derive(Debug, Clone)]
+pub struct DefenseSuite {
+    mesh: Mesh2d,
+    /// The manager node the suite defends.
+    pub manager: NodeId,
+    detector: RequestAnomalyDetector,
+    plan: ProbePlan,
+    campaign: ProbeCampaign,
+}
+
+impl DefenseSuite {
+    /// Creates a suite for a chip with the manager at `manager`, probing
+    /// under `plan`.
+    #[must_use]
+    pub fn new(mesh: Mesh2d, manager: NodeId, plan: ProbePlan) -> Self {
+        DefenseSuite {
+            mesh,
+            manager,
+            detector: RequestAnomalyDetector::new(DetectorConfig::default()),
+            plan,
+            campaign: ProbeCampaign::new(),
+        }
+    }
+
+    /// Overrides the EWMA detector tuning.
+    #[must_use]
+    pub fn with_detector_config(mut self, config: DetectorConfig) -> Self {
+        self.detector = RequestAnomalyDetector::new(config);
+        self
+    }
+
+    /// The probe value core `core` should send in `epoch` (forwarded to
+    /// cooperating cores out of band).
+    #[must_use]
+    pub fn probe_value(&self, core: NodeId, epoch: u64) -> u32 {
+        self.plan.expected(core, epoch)
+    }
+
+    /// Feeds a delivered *workload* power request.
+    pub fn observe_request(&mut self, core: NodeId, epoch: u64, milliwatts: f64) {
+        self.detector.observe(core, epoch, milliwatts);
+    }
+
+    /// Feeds a delivered *probe* request.
+    pub fn observe_probe(&mut self, core: NodeId, epoch: u64, milliwatts: u32) {
+        self.campaign.record(&self.plan, core, epoch, milliwatts);
+    }
+
+    /// Produces the combined verdict from all evidence so far.
+    #[must_use]
+    pub fn verdict(&self) -> SuiteVerdict {
+        let ewma_flagged = self.detector.flagged_cores();
+        let probe_flagged = self.campaign.tampered_sources();
+        let mut flagged: Vec<NodeId> = ewma_flagged
+            .iter()
+            .chain(&probe_flagged)
+            .copied()
+            .collect();
+        flagged.sort_unstable();
+        flagged.dedup();
+        // Clean evidence: sources clean under BOTH mechanisms.
+        let probe_clean = self.campaign.clean_sources();
+        let detector_clean = self.detector.clean_cores();
+        let clean: Vec<NodeId> = probe_clean
+            .into_iter()
+            .filter(|c| detector_clean.contains(c) || !ewma_flagged.contains(c))
+            .filter(|c| !flagged.contains(c))
+            .collect();
+        let localization = TrojanLocalizer::new(self.mesh, self.manager).localize(&flagged, &clean);
+        SuiteVerdict {
+            compromised: !flagged.is_empty(),
+            ewma_flagged,
+            probe_flagged,
+            localization,
+        }
+    }
+
+    /// Clears all accumulated evidence (e.g. after suspects were fused off).
+    pub fn reset(&mut self) {
+        self.detector.reset();
+        self.campaign = ProbeCampaign::new();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn suite() -> (Mesh2d, DefenseSuite) {
+        let mesh = Mesh2d::new(8, 8).unwrap();
+        let manager = mesh.center();
+        (mesh, DefenseSuite::new(mesh, manager, ProbePlan::default_band(3)))
+    }
+
+    #[test]
+    fn quiet_chip_yields_clean_verdict() {
+        let (mesh, mut s) = suite();
+        for epoch in 0..3 {
+            for core in mesh.iter_nodes() {
+                if core == s.manager {
+                    continue;
+                }
+                s.observe_request(core, epoch, 2_000.0);
+                let p = s.probe_value(core, epoch);
+                s.observe_probe(core, epoch, p);
+            }
+        }
+        let v = s.verdict();
+        assert!(!v.compromised);
+        assert!(v.ewma_flagged.is_empty());
+        assert!(v.probe_flagged.is_empty());
+        assert!(v.localization.suspects.is_empty());
+    }
+
+    #[test]
+    fn combined_evidence_localizes_a_trojan() {
+        let (mesh, mut s) = suite();
+        let manager = s.manager;
+        let trojan = NodeId(20);
+        for epoch in 0..3u64 {
+            for core in mesh.iter_nodes() {
+                if core == manager {
+                    continue;
+                }
+                let on_route = mesh.xy_path(core, manager).contains(&trojan);
+                // Workload request: zeroed on infected routes in epoch 2.
+                let value = if on_route && epoch == 2 { 0.0 } else { 2_000.0 };
+                s.observe_request(core, epoch, value);
+                // Probe: scaled on infected routes.
+                let p = s.probe_value(core, epoch);
+                let delivered = if on_route { p / 2 } else { p };
+                s.observe_probe(core, epoch, delivered);
+            }
+        }
+        let v = s.verdict();
+        assert!(v.compromised);
+        assert!(!v.ewma_flagged.is_empty());
+        assert!(!v.probe_flagged.is_empty());
+        assert!(v.localization.suspects.contains(&trojan));
+        assert!(v.localization.unexplained.is_empty());
+    }
+
+    #[test]
+    fn reset_clears_evidence() {
+        let (_, mut s) = suite();
+        s.observe_request(NodeId(1), 0, 2_000.0);
+        s.observe_request(NodeId(1), 1, 2_000.0);
+        s.observe_request(NodeId(1), 2, 0.0);
+        assert!(s.verdict().compromised);
+        s.reset();
+        assert!(!s.verdict().compromised);
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests of the defense layer: with complete, consistent
+//! observations the localizer is *sound* (every true Trojan is in the
+//! suspect set) and the minimal explanation covers all evidence; the probe
+//! plan detects every payload modification.
+
+use proptest::prelude::*;
+
+use htpb_defense::{ProbePlan, TrojanLocalizer};
+use htpb_noc::{Mesh2d, NodeId};
+
+fn arb_mesh() -> impl Strategy<Value = Mesh2d> {
+    (3u16..=8, 3u16..=8).prop_map(|(w, h)| Mesh2d::new(w, h).expect("valid dims"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Soundness: given *complete* observations (every source classified
+    /// correctly), every true Trojan that lies on at least one flagged
+    /// route appears in the suspect set, and nothing is unexplained.
+    #[test]
+    fn localizer_is_sound_under_complete_observations(
+        mesh in arb_mesh(),
+        trojan_seeds in proptest::collection::btree_set(0u32..64, 1..4),
+    ) {
+        let manager = mesh.center();
+        let trojans: Vec<NodeId> = trojan_seeds
+            .into_iter()
+            .map(|s| NodeId((s % mesh.nodes()) as u16))
+            .filter(|n| *n != manager)
+            .collect();
+        prop_assume!(!trojans.is_empty());
+        let mut flagged = Vec::new();
+        let mut clean = Vec::new();
+        for src in mesh.iter_nodes() {
+            if src == manager {
+                continue;
+            }
+            if mesh.xy_path(src, manager).iter().any(|n| trojans.contains(n)) {
+                flagged.push(src);
+            } else {
+                clean.push(src);
+            }
+        }
+        let report = TrojanLocalizer::new(mesh, manager).localize(&flagged, &clean);
+        prop_assert!(report.unexplained.is_empty());
+        // Soundness for every trojan that actually produced evidence.
+        for t in &trojans {
+            let produced_evidence = flagged
+                .iter()
+                .any(|src| mesh.xy_path(*src, manager).contains(t));
+            if produced_evidence {
+                prop_assert!(
+                    report.suspects.contains(t),
+                    "trojan {t} missing from suspects {:?}",
+                    report.suspects
+                );
+            }
+        }
+        // The minimal explanation covers every flagged route.
+        for src in &flagged {
+            let path = mesh.xy_path(*src, manager);
+            prop_assert!(
+                report
+                    .minimal_explanation
+                    .iter()
+                    .any(|n| path.contains(n)),
+                "flagged source {src} unexplained by {:?}",
+                report.minimal_explanation
+            );
+        }
+    }
+
+    /// Suspects never include exonerated routers: any router on a clean
+    /// route is absent from the suspect set.
+    #[test]
+    fn localizer_never_accuses_exonerated_routers(
+        mesh in arb_mesh(),
+        flagged_seed in 0u32..64,
+        clean_seed in 0u32..64,
+    ) {
+        let manager = mesh.center();
+        let flagged = NodeId((flagged_seed % mesh.nodes()) as u16);
+        let clean = NodeId((clean_seed % mesh.nodes()) as u16);
+        prop_assume!(flagged != manager && clean != manager && flagged != clean);
+        let report =
+            TrojanLocalizer::new(mesh, manager).localize(&[flagged], &[clean]);
+        for n in mesh.xy_path(clean, manager) {
+            prop_assert!(
+                !report.suspects.contains(&n),
+                "exonerated router {n} accused"
+            );
+        }
+    }
+
+    /// The probe plan flags *every* modified delivery and accepts *only*
+    /// the exact expected value.
+    #[test]
+    fn probe_detects_all_modifications(
+        key in any::<u64>(),
+        core in 0u16..512,
+        epoch in 0u64..1000,
+        delta in 1u32..10_000,
+    ) {
+        let plan = ProbePlan::default_band(key);
+        let v = plan.expected(NodeId(core), epoch);
+        prop_assert!(plan.verify(NodeId(core), epoch, v));
+        prop_assert!(!plan.verify(NodeId(core), epoch, v.wrapping_add(delta)));
+        prop_assert!(!plan.verify(NodeId(core), epoch, v.wrapping_sub(delta)));
+    }
+}

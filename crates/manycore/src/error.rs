@@ -1,0 +1,82 @@
+use std::fmt;
+
+/// Errors from building or running a many-core system.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ManycoreError {
+    /// The workload needs more cores than the mesh provides (after
+    /// reserving the global-manager tile).
+    NotEnoughCores {
+        /// Threads requested by the workload.
+        requested: usize,
+        /// Worker tiles available.
+        available: usize,
+    },
+    /// The configuration is internally inconsistent.
+    InvalidConfig {
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+    /// An underlying NoC error surfaced during construction.
+    Noc(htpb_noc::NocError),
+}
+
+impl fmt::Display for ManycoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ManycoreError::NotEnoughCores {
+                requested,
+                available,
+            } => write!(
+                f,
+                "workload needs {requested} cores but only {available} are available"
+            ),
+            ManycoreError::InvalidConfig { reason } => write!(f, "invalid config: {reason}"),
+            ManycoreError::Noc(e) => write!(f, "NoC error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ManycoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ManycoreError::Noc(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<htpb_noc::NocError> for ManycoreError {
+    fn from(e: htpb_noc::NocError) -> Self {
+        ManycoreError::Noc(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = ManycoreError::NotEnoughCores {
+            requested: 70,
+            available: 63,
+        };
+        assert_eq!(e.to_string(), "workload needs 70 cores but only 63 are available");
+        assert_eq!(
+            ManycoreError::InvalidConfig { reason: "bad epoch" }.to_string(),
+            "invalid config: bad epoch"
+        );
+    }
+
+    #[test]
+    fn noc_errors_convert_and_chain() {
+        let inner = htpb_noc::NocError::InjectionQueueFull {
+            node: htpb_noc::NodeId(5),
+        };
+        let e: ManycoreError = inner.clone().into();
+        assert!(e.to_string().contains("NoC error"));
+        let src = std::error::Error::source(&e).expect("source chained");
+        assert_eq!(src.to_string(), inner.to_string());
+    }
+}

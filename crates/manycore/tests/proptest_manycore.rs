@@ -1,0 +1,110 @@
+//! Property-based tests of the many-core system: throughput curves are
+//! well-behaved for every benchmark at every operating point, the cache
+//! substrate preserves basic invariants, and random workloads always run
+//! the budgeting protocol to completion.
+
+use proptest::prelude::*;
+
+use htpb_manycore::{
+    AppRole, Benchmark, CacheConfig, Directory, SetAssocCache, SystemBuilder, Workload,
+};
+use htpb_noc::Mesh2d;
+use htpb_power::DvfsTable;
+
+fn arb_benchmark() -> impl Strategy<Value = Benchmark> {
+    proptest::sample::select(Benchmark::ALL.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Throughput is positive, strictly increasing in frequency, and IPC
+    /// stays within architectural bounds for every benchmark at every
+    /// table frequency.
+    #[test]
+    fn throughput_curves_are_sane(bench in arb_benchmark()) {
+        let table = DvfsTable::default_six_level();
+        let p = bench.profile();
+        let mut last = 0.0;
+        for level in table.iter_levels() {
+            let f = table.freq_ghz(level);
+            let t = p.throughput(f);
+            prop_assert!(t > last);
+            prop_assert!(t < p.throughput_ceiling());
+            prop_assert!(p.ipc(f) > 0.0 && p.ipc(f) < 4.0);
+            last = t;
+        }
+    }
+
+    /// Any feasible random workload runs two epochs with the protocol
+    /// completing: correct requester count and budget-bounded grants.
+    #[test]
+    fn random_workloads_complete_protocol(
+        apps in proptest::collection::vec((arb_benchmark(), 1usize..5, any::<bool>()), 1..4),
+        budget_fraction in 0.2f64..1.5,
+        seed in any::<u64>(),
+    ) {
+        let mesh = Mesh2d::new(4, 4).unwrap();
+        let mut w = Workload::new();
+        let mut threads = 0;
+        for (b, t, malicious) in &apps {
+            let t = (*t).min(15 - threads);
+            if t == 0 {
+                break;
+            }
+            threads += t;
+            let role = if *malicious { AppRole::Malicious } else { AppRole::Legitimate };
+            w = w.app(*b, t, role);
+        }
+        prop_assume!(w.total_threads() > 0);
+        let expected = w.total_threads();
+        let mut sys = SystemBuilder::new(mesh)
+            .workload(w)
+            .budget_fraction(budget_fraction)
+            .seed(seed)
+            .build()
+            .expect("feasible workload");
+        sys.run_epochs(2);
+        prop_assert!(sys.manager().epochs_run() >= 2);
+        let s = sys.manager().last_summary().expect("epoch ran");
+        prop_assert_eq!(s.requesters, expected);
+        prop_assert!(s.total_granted_mw <= sys.manager().budget_mw() + 1e-6);
+        // Conservation: every assigned tile retired instructions.
+        for t in sys.tiles() {
+            if t.is_assigned() {
+                prop_assert!(t.retired_total() > 0.0);
+            }
+        }
+    }
+
+    /// Cache invariant: after accessing an address, probing it hits until
+    /// an eviction or invalidation removes it; hit/miss counters add up.
+    #[test]
+    fn cache_access_probe_consistency(addrs in proptest::collection::vec(any::<u32>(), 1..200)) {
+        let mut c = SetAssocCache::new(CacheConfig::l1_data());
+        for a in &addrs {
+            let addr = u64::from(*a);
+            c.access(addr);
+            prop_assert!(c.probe(addr), "just-accessed line must be present");
+        }
+        prop_assert_eq!(c.hits() + c.misses(), addrs.len() as u64);
+    }
+
+    /// Directory invariant: after any sequence of reads/writes, a line has
+    /// at most one owner when Modified, and the sharer set is exactly the
+    /// cores whose last access wasn't invalidated.
+    #[test]
+    fn directory_single_writer(ops in proptest::collection::vec((any::<bool>(), 0u16..8, 0u64..16), 1..100)) {
+        let mut d = Directory::new(1024);
+        for (is_write, core, line_idx) in ops {
+            let line = line_idx * 64;
+            if is_write {
+                d.write(line, core);
+                prop_assert_eq!(d.sharers(line), vec![core], "writer is sole owner");
+            } else {
+                d.read(line, core);
+                prop_assert!(d.sharers(line).contains(&core));
+            }
+        }
+    }
+}

@@ -1,0 +1,115 @@
+use crate::packet::Packet;
+use crate::topology::NodeId;
+
+/// What an inspector did to a packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct InspectOutcome {
+    /// The inspector rewrote some field of the packet (the Trojan's
+    /// functional module fired). Modified packets are counted towards the
+    /// network's infection statistics.
+    pub modified: bool,
+    /// The inspector ordered the packet dropped: the router silently sinks
+    /// all its flits instead of forwarding them (the "packet drop attack"
+    /// class of the paper's Section II-B). Dropped packets are never
+    /// delivered and are counted in
+    /// [`crate::NetworkStats::dropped_packets`].
+    pub dropped: bool,
+}
+
+impl InspectOutcome {
+    /// Outcome of an inspector that left the packet untouched.
+    #[must_use]
+    pub fn untouched() -> Self {
+        InspectOutcome {
+            modified: false,
+            dropped: false,
+        }
+    }
+
+    /// Outcome of an inspector that tampered with the packet.
+    #[must_use]
+    pub fn tampered() -> Self {
+        InspectOutcome {
+            modified: true,
+            dropped: false,
+        }
+    }
+
+    /// Outcome of an inspector that ordered the packet dropped.
+    #[must_use]
+    pub fn dropped() -> Self {
+        InspectOutcome {
+            modified: false,
+            dropped: true,
+        }
+    }
+}
+
+/// Hook invoked on every packet header as it moves from a router's input
+/// buffer towards the routing-computation stage.
+///
+/// This is exactly the attachment point of the hardware Trojan in Fig. 2(b)
+/// of the paper: "an HT has 3 comparators and 2 registers that sit between
+/// the router's input buffer and the routing computation module". The
+/// network invokes the inspector once per hop per packet, passing the id of
+/// the router the packet currently sits in.
+///
+/// Implementations may mutate the packet (the Trojan rewrites the payload of
+/// victim power requests) and must report whether they did so, which feeds
+/// the infection-rate statistics of Section V-B.
+pub trait PacketInspector {
+    /// Inspects (and possibly rewrites) `packet` inside router `router`.
+    /// `cycle` is the current network cycle, which activation schedules use
+    /// for duty-cycled attacks.
+    fn inspect(&mut self, router: NodeId, cycle: u64, packet: &mut Packet) -> InspectOutcome;
+}
+
+/// An inspector that never touches any packet — the clean, Trojan-free chip.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullInspector;
+
+impl PacketInspector for NullInspector {
+    fn inspect(&mut self, _router: NodeId, _cycle: u64, _packet: &mut Packet) -> InspectOutcome {
+        InspectOutcome::untouched()
+    }
+}
+
+impl<T: PacketInspector + ?Sized> PacketInspector for Box<T> {
+    fn inspect(&mut self, router: NodeId, cycle: u64, packet: &mut Packet) -> InspectOutcome {
+        (**self).inspect(router, cycle, packet)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_inspector_leaves_packet_alone() {
+        let mut insp = NullInspector;
+        let mut p = Packet::power_request(NodeId(0), NodeId(1), 123);
+        let out = insp.inspect(NodeId(5), 0, &mut p);
+        assert!(!out.modified);
+        assert_eq!(p.payload(), 123);
+    }
+
+    #[test]
+    fn boxed_inspector_dispatches() {
+        struct Zeroer;
+        impl PacketInspector for Zeroer {
+            fn inspect(
+                &mut self,
+                _router: NodeId,
+                _cycle: u64,
+                packet: &mut Packet,
+            ) -> InspectOutcome {
+                packet.set_payload(0);
+                InspectOutcome::tampered()
+            }
+        }
+        let mut insp: Box<dyn PacketInspector> = Box::new(Zeroer);
+        let mut p = Packet::power_request(NodeId(0), NodeId(1), 123);
+        assert!(insp.inspect(NodeId(2), 0, &mut p).modified);
+        assert_eq!(p.payload(), 0);
+    }
+}

@@ -1,0 +1,1006 @@
+use std::collections::{HashMap, VecDeque};
+
+use crate::error::NocError;
+use crate::flit::Flit;
+use crate::inspect::{NullInspector, PacketInspector};
+use crate::packet::{Packet, PacketKind};
+use crate::router::{Router, RouterConfig};
+use crate::routing::{RoutingAlgorithm, RoutingKind};
+use crate::stats::NetworkStats;
+use crate::topology::{Direction, Mesh2d, NodeId};
+use crate::trace::{TraceBuffer, TraceEvent};
+
+/// Construction parameters of a [`Network`].
+#[derive(Debug, Clone)]
+pub struct NetworkConfig {
+    /// Mesh topology.
+    pub mesh: Mesh2d,
+    /// Per-router microarchitecture (VC count, buffer depth).
+    pub router: RouterConfig,
+    /// Routing algorithm.
+    pub routing: RoutingKind,
+    /// Maximum number of flits a node's injection queue may hold before
+    /// [`Network::inject`] reports back-pressure.
+    pub injection_queue_capacity: usize,
+    /// Packet-lifecycle tracing: `Some(capacity)` retains the newest
+    /// `capacity` [`TraceEvent`]s in a ring buffer; `None` (default)
+    /// disables tracing entirely.
+    pub trace_capacity: Option<usize>,
+}
+
+impl NetworkConfig {
+    /// Creates a configuration with Table-I defaults (4 VCs, 5-flit buffers,
+    /// XY routing) on the given mesh.
+    #[must_use]
+    pub fn new(mesh: Mesh2d) -> Self {
+        NetworkConfig {
+            mesh,
+            router: RouterConfig::default(),
+            routing: RoutingKind::default(),
+            injection_queue_capacity: 4096,
+            trace_capacity: None,
+        }
+    }
+
+    /// Enables packet-lifecycle tracing with the given ring-buffer
+    /// capacity.
+    #[must_use]
+    pub fn with_tracing(mut self, capacity: usize) -> Self {
+        self.trace_capacity = Some(capacity);
+        self
+    }
+
+    /// Selects a routing algorithm.
+    #[must_use]
+    pub fn with_routing(mut self, routing: RoutingKind) -> Self {
+        self.routing = routing;
+        self
+    }
+
+    /// Overrides the router microarchitecture.
+    #[must_use]
+    pub fn with_router(mut self, router: RouterConfig) -> Self {
+        self.router = router;
+        self
+    }
+}
+
+/// A packet that reached its destination, with delivery metadata.
+#[derive(Debug, Clone, Copy)]
+pub struct DeliveredPacket {
+    /// The packet as received — if a Trojan rewrote it en route, this is the
+    /// tampered frame (the receiver cannot tell).
+    pub packet: Packet,
+    /// End-to-end latency in cycles, injection to tail ejection.
+    pub latency: u64,
+    /// Number of router-to-router hops traversed.
+    pub hops: u32,
+    /// Whether any inspector reported modifying this packet. This is ground
+    /// truth available to the experimenter, not to the receiver.
+    pub modified: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PacketMeta {
+    injected_at: u64,
+    hops: u32,
+    modified: bool,
+}
+
+/// A cycle-accurate wormhole-switched 2D-mesh network.
+///
+/// The per-cycle pipeline models a two-cycle router plus one-cycle links
+/// (Table I): within [`Network::step`] the stages run in the order
+/// *link delivery* → *switch traversal* → *injection* → *VC allocation* →
+/// *routing computation & inspection*, so a head flit arriving in cycle *t*
+/// is routed in *t*, allocated in *t + 1*, traverses the crossbar in *t + 2*
+/// and lands in the next router's buffer in *t + 3*. Flits stamped into a
+/// buffer in cycle *t* are not switch-eligible until *t + 1*.
+///
+/// The inspector hook (the Trojan attachment point, Fig. 2b) runs once per
+/// packet per router, immediately before routing computation.
+pub struct Network<I: PacketInspector = NullInspector> {
+    mesh: Mesh2d,
+    routing: Box<dyn RoutingAlgorithm>,
+    routers: Vec<Router>,
+    /// `links[node * 4 + dir]`: flit in flight from `node` towards `dir`,
+    /// together with the downstream VC it was allocated.
+    links: Vec<Option<(Flit, usize)>>,
+    injection_queues: Vec<VecDeque<Flit>>,
+    /// Local input VC currently receiving an in-progress injected packet.
+    injection_vc: Vec<Option<usize>>,
+    injection_capacity: usize,
+    in_flight: HashMap<u64, PacketMeta>,
+    /// Head packets of partially ejected multi-flit packets.
+    pending_heads: HashMap<u64, Packet>,
+    ejected: Vec<DeliveredPacket>,
+    inspector: I,
+    stats: NetworkStats,
+    trace: Option<TraceBuffer>,
+    cycle: u64,
+    next_packet_id: u64,
+}
+
+impl Network<NullInspector> {
+    /// Creates a clean (Trojan-free) network.
+    #[must_use]
+    pub fn new(config: NetworkConfig) -> Self {
+        Network::with_inspector(config, NullInspector)
+    }
+}
+
+impl<I: PacketInspector> Network<I> {
+    /// Creates a network whose routers pass every packet header through
+    /// `inspector` ahead of routing computation.
+    #[must_use]
+    pub fn with_inspector(config: NetworkConfig, inspector: I) -> Self {
+        let nodes = config.mesh.nodes() as usize;
+        Network {
+            mesh: config.mesh,
+            routing: config.routing.build(),
+            routers: (0..nodes)
+                .map(|i| Router::new(NodeId(i as u16), config.router))
+                .collect(),
+            links: vec![None; nodes * 4],
+            injection_queues: (0..nodes).map(|_| VecDeque::new()).collect(),
+            injection_vc: vec![None; nodes],
+            injection_capacity: config.injection_queue_capacity,
+            in_flight: HashMap::new(),
+            pending_heads: HashMap::new(),
+            ejected: Vec::new(),
+            inspector,
+            stats: NetworkStats::default(),
+            trace: config.trace_capacity.map(TraceBuffer::new),
+            cycle: 0,
+            next_packet_id: 0,
+        }
+    }
+
+    /// The mesh topology.
+    #[must_use]
+    pub fn mesh(&self) -> Mesh2d {
+        self.mesh
+    }
+
+    /// Current simulation cycle.
+    #[must_use]
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Read access to the inspector.
+    #[must_use]
+    pub fn inspector(&self) -> &I {
+        &self.inspector
+    }
+
+    /// Mutable access to the inspector (e.g. to re-arm Trojans mid-run).
+    pub fn inspector_mut(&mut self) -> &mut I {
+        &mut self.inspector
+    }
+
+    /// Aggregate network statistics.
+    #[must_use]
+    pub fn stats(&self) -> &NetworkStats {
+        &self.stats
+    }
+
+    /// The packet-lifecycle trace, when tracing was enabled at
+    /// construction.
+    #[must_use]
+    pub fn trace(&self) -> Option<&TraceBuffer> {
+        self.trace.as_ref()
+    }
+
+    /// Read access to a router (diagnostics and tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is outside the mesh.
+    #[must_use]
+    pub fn router(&self, node: NodeId) -> &Router {
+        &self.routers[node.0 as usize]
+    }
+
+    /// Per-node crossbar utilization: flits forwarded by each router, in
+    /// node order — the raw material for congestion heatmaps.
+    #[must_use]
+    pub fn utilization_map(&self) -> Vec<u64> {
+        self.routers.iter().map(Router::flits_forwarded).collect()
+    }
+
+    /// Enqueues `packet` at its source node's injection queue and returns the
+    /// simulator-assigned packet id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NocError::NodeOutOfRange`] for addresses outside the mesh
+    /// and [`NocError::InjectionQueueFull`] under back-pressure.
+    pub fn inject(&mut self, packet: Packet) -> Result<u64, NocError> {
+        for node in [packet.src(), packet.dst()] {
+            if !self.mesh.contains(node) {
+                return Err(NocError::NodeOutOfRange {
+                    node,
+                    nodes: self.mesh.nodes(),
+                });
+            }
+        }
+        let queue = &mut self.injection_queues[packet.src().0 as usize];
+        if queue.len() + packet.flit_count() > self.injection_capacity {
+            return Err(NocError::InjectionQueueFull { node: packet.src() });
+        }
+        let id = self.next_packet_id;
+        self.next_packet_id += 1;
+        for flit in Flit::packetize(packet, id, self.cycle) {
+            queue.push_back(flit);
+        }
+        self.in_flight.insert(
+            id,
+            PacketMeta {
+                injected_at: self.cycle,
+                hops: 0,
+                modified: false,
+            },
+        );
+        if let Some(trace) = self.trace.as_mut() {
+            trace.record(TraceEvent::Injected {
+                packet: id,
+                kind: packet.kind(),
+                src: packet.src(),
+                dst: packet.dst(),
+                cycle: self.cycle,
+            });
+        }
+        self.stats.on_inject();
+        Ok(id)
+    }
+
+    /// Takes all packets delivered since the previous call.
+    pub fn drain_ejected(&mut self) -> Vec<DeliveredPacket> {
+        std::mem::take(&mut self.ejected)
+    }
+
+    /// Whether no flit is buffered, queued, or in flight anywhere.
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        self.in_flight.is_empty() && self.injection_queues.iter().all(VecDeque::is_empty)
+    }
+
+    /// Advances the network by one cycle.
+    pub fn step(&mut self) {
+        self.stage_link_delivery();
+        self.stage_switch_traversal();
+        self.stage_injection();
+        self.stage_vc_allocation();
+        self.stage_routing_and_inspection();
+        self.cycle += 1;
+    }
+
+    /// Advances the network `n` cycles.
+    pub fn step_n(&mut self, n: u64) {
+        for _ in 0..n {
+            self.step();
+        }
+    }
+
+    /// Steps until the network drains completely or `max_cycles` elapse.
+    /// Returns `true` if the network went idle.
+    pub fn run_until_idle(&mut self, max_cycles: u64) -> bool {
+        for _ in 0..max_cycles {
+            if self.is_idle() {
+                return true;
+            }
+            self.step();
+        }
+        self.is_idle()
+    }
+
+    fn link_index(&self, node: NodeId, dir: Direction) -> usize {
+        node.0 as usize * 4 + dir.index()
+    }
+
+    /// Stage 1: switch allocation + traversal. Each output port of each
+    /// router forwards at most one flit per cycle, picked round-robin over
+    /// the eligible (input port, VC) pairs. Virtual channels whose packet an
+    /// inspector ordered dropped are drained into a sink instead (one flit
+    /// per cycle, credits still returned upstream).
+    fn stage_switch_traversal(&mut self) {
+        // Deferred credit returns: (upstream node, upstream out dir, vc, free_vc).
+        let mut credit_returns: Vec<(NodeId, Direction, usize, bool)> = Vec::new();
+        for ri in 0..self.routers.len() {
+            if self.routers[ri].buffered_flits() == 0 {
+                continue;
+            }
+            let node = NodeId(ri as u16);
+            // Sink stage for dropped packets.
+            for in_port in 0..5 {
+                for vc in 0..self.routers[ri].config().vcs {
+                    if !self.routers[ri].inputs[in_port][vc].dropping {
+                        continue;
+                    }
+                    let Some(flit) = self.routers[ri].inputs[in_port][vc].pop() else {
+                        continue;
+                    };
+                    if let Some(up_out) = Direction::ALL[in_port].opposite() {
+                        if let Some(up) = self.mesh.neighbor(node, Direction::ALL[in_port]) {
+                            credit_returns.push((up, up_out, vc, flit.kind.is_tail()));
+                        }
+                    }
+                    if flit.kind.is_tail() {
+                        self.in_flight.remove(&flit.packet_id);
+                        self.stats.on_packet_dropped();
+                    }
+                }
+            }
+            for out_dir in Direction::ALL {
+                let od = out_dir.index();
+                // Output link must be free this cycle (one flit per cycle).
+                if out_dir != Direction::Local && self.links[self.link_index(node, out_dir)].is_some()
+                {
+                    continue;
+                }
+                let vcs = self.routers[ri].config().vcs;
+                let slots = 5 * vcs;
+                let start = self.routers[ri].sa_rr[od];
+                let mut granted = None;
+                for off in 0..slots {
+                    let slot = (start + off) % slots;
+                    let (in_port, vc) = (slot / vcs, slot % vcs);
+                    let r = &self.routers[ri];
+                    let ivc = &r.inputs[in_port][vc];
+                    if ivc.is_empty() || ivc.route != Some(out_dir) {
+                        continue;
+                    }
+                    // A flit spends at least one full cycle buffered before
+                    // it may traverse the switch (two-cycle router floor).
+                    if ivc.front_arrived_at() == Some(self.cycle) {
+                        continue;
+                    }
+                    if out_dir != Direction::Local {
+                        let Some(ovc) = ivc.out_vc else { continue };
+                        if r.outputs[od].credits[ovc] == 0 {
+                            continue;
+                        }
+                    }
+                    granted = Some((in_port, vc));
+                    break;
+                }
+                let Some((in_port, vc)) = granted else {
+                    continue;
+                };
+                self.routers[ri].sa_rr[od] = (in_port * vcs + vc + 1) % slots;
+                self.routers[ri].flits_forwarded += 1;
+                let out_vc = self.routers[ri].inputs[in_port][vc].out_vc;
+                let flit = self.routers[ri].inputs[in_port][vc]
+                    .pop()
+                    .expect("granted VC nonempty");
+                // Return a credit upstream for the buffer slot just freed.
+                if let Some(up_out) = Direction::ALL[in_port].opposite() {
+                    if let Some(up) = self.mesh.neighbor(node, Direction::ALL[in_port]) {
+                        credit_returns.push((up, up_out, vc, flit.kind.is_tail()));
+                    }
+                }
+                if out_dir == Direction::Local {
+                    self.eject(flit);
+                } else {
+                    let ovc = out_vc.expect("non-local ST requires an allocated VC");
+                    self.routers[ri].outputs[od].credits[ovc] -= 1;
+                    if flit.kind.is_tail() {
+                        // Path released: downstream VC becomes reusable once
+                        // its buffer drains; dealloc happens on downstream pop
+                        // via the credit-return channel below.
+                        self.routers[ri].outputs[od].allocated[ovc] = false;
+                    }
+                    if flit.kind.is_head() {
+                        if let Some(meta) = self.in_flight.get_mut(&flit.packet_id) {
+                            meta.hops += 1;
+                        }
+                    }
+                    let li = self.link_index(node, out_dir);
+                    debug_assert!(self.links[li].is_none());
+                    self.links[li] = Some((flit, ovc));
+                }
+            }
+        }
+        for (up, up_out, vc, _tail) in credit_returns {
+            let r = &mut self.routers[up.0 as usize];
+            r.outputs[up_out.index()].credits[vc] += 1;
+            debug_assert!(
+                r.outputs[up_out.index()].credits[vc] <= r.config().buffer_depth,
+                "credit overflow"
+            );
+        }
+    }
+
+    /// Stage 2a: flits on links land in downstream input buffers.
+    fn stage_link_delivery(&mut self) {
+        for ri in 0..self.routers.len() {
+            let node = NodeId(ri as u16);
+            for dir in [
+                Direction::North,
+                Direction::South,
+                Direction::East,
+                Direction::West,
+            ] {
+                let li = self.link_index(node, dir);
+                let Some((flit, ovc)) = self.links[li].take() else {
+                    continue;
+                };
+                let dst_node = self
+                    .mesh
+                    .neighbor(node, dir)
+                    .expect("link endpoints are mesh neighbours");
+                let in_port = dir.opposite().expect("non-local link").index();
+                let now = self.cycle;
+                let vc = &mut self.routers[dst_node.0 as usize].inputs[in_port][ovc];
+                vc.push(flit, now);
+            }
+        }
+    }
+
+    /// Stage 2b: injection — at most one flit per node per cycle moves from
+    /// the injection queue into a free local-input VC.
+    fn stage_injection(&mut self) {
+        let now = self.cycle;
+        for ri in 0..self.routers.len() {
+            let Some(front) = self.injection_queues[ri].front() else {
+                continue;
+            };
+            let local = Direction::Local.index();
+            let target_vc = if front.kind.is_head() {
+                // A new packet needs an idle local VC.
+                let free = self.routers[ri].inputs[local]
+                    .iter()
+                    .position(|vc| vc.is_empty() && vc.route.is_none());
+                match free {
+                    Some(v) => v,
+                    None => continue,
+                }
+            } else {
+                match self.injection_vc[ri] {
+                    Some(v) => v,
+                    None => continue,
+                }
+            };
+            let vc = &mut self.routers[ri].inputs[local][target_vc];
+            if !vc.has_space() {
+                continue;
+            }
+            let flit = self.injection_queues[ri].pop_front().expect("front checked");
+            self.injection_vc[ri] = if flit.kind.is_tail() {
+                None
+            } else {
+                Some(target_vc)
+            };
+            vc.push(flit, now);
+        }
+    }
+
+    /// Stage 3: VC allocation — input VCs that know their output port
+    /// acquire a free downstream VC.
+    fn stage_vc_allocation(&mut self) {
+        for ri in 0..self.routers.len() {
+            if self.routers[ri].buffered_flits() == 0 {
+                continue;
+            }
+            for in_port in 0..5 {
+                for vc in 0..self.routers[ri].config().vcs {
+                    let ivc = &self.routers[ri].inputs[in_port][vc];
+                    let Some(route) = ivc.route else { continue };
+                    if route == Direction::Local || ivc.out_vc.is_some() || ivc.is_empty() {
+                        continue;
+                    }
+                    let od = route.index();
+                    if let Some(free) = self.routers[ri].outputs[od].free_vc() {
+                        self.routers[ri].outputs[od].allocated[free] = true;
+                        self.routers[ri].inputs[in_port][vc].out_vc = Some(free);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Stage 4: routing computation, preceded by the inspection hook — the
+    /// point where an implanted Trojan reads and possibly rewrites the
+    /// packet (Fig. 2b).
+    fn stage_routing_and_inspection(&mut self) {
+        for ri in 0..self.routers.len() {
+            if self.routers[ri].buffered_flits() == 0 {
+                continue;
+            }
+            let node = NodeId(ri as u16);
+            for in_port in 0..5 {
+                for vc in 0..self.routers[ri].config().vcs {
+                    let ivc = &mut self.routers[ri].inputs[in_port][vc];
+                    if ivc.route.is_some() || ivc.dropping {
+                        continue;
+                    }
+                    let needs_inspection = !ivc.inspected;
+                    let Some(front) = ivc.front_mut() else {
+                        continue;
+                    };
+                    if !front.kind.is_head() {
+                        continue;
+                    }
+                    let packet_id = front.packet_id;
+                    let packet = front.packet.as_mut().expect("head flit carries packet");
+                    if needs_inspection {
+                        let payload_before = packet.payload();
+                        let outcome = self.inspector.inspect(node, self.cycle, packet);
+                        if outcome.dropped {
+                            // The whole packet will be sunk here; no route is
+                            // ever computed for it.
+                            let ivc = &mut self.routers[ri].inputs[in_port][vc];
+                            ivc.dropping = true;
+                            ivc.inspected = true;
+                            continue;
+                        }
+                        if outcome.modified {
+                            if let Some(meta) = self.in_flight.get_mut(&packet_id) {
+                                meta.modified = true;
+                            }
+                            if let Some(trace) = self.trace.as_mut() {
+                                trace.record(TraceEvent::Tampered {
+                                    packet: packet_id,
+                                    node,
+                                    payload_before,
+                                    payload_after: packet.payload(),
+                                    cycle: self.cycle,
+                                });
+                            }
+                        }
+                    }
+                    if let Some(trace) = self.trace.as_mut() {
+                        trace.record(TraceEvent::Routed {
+                            packet: packet_id,
+                            node,
+                            cycle: self.cycle,
+                        });
+                    }
+                    let dst = packet.dst();
+                    let candidates =
+                        self.routing
+                            .route(self.mesh, node, dst, Direction::ALL[in_port]);
+                    debug_assert!(!candidates.is_empty());
+                    let chosen = if candidates.len() == 1 {
+                        candidates[0]
+                    } else {
+                        // Adaptive: prefer the candidate with the most free
+                        // downstream credits.
+                        *candidates
+                            .iter()
+                            .max_by_key(|d| self.routers[ri].output_credits(**d))
+                            .expect("nonempty candidates")
+                    };
+                    let ivc = &mut self.routers[ri].inputs[in_port][vc];
+                    ivc.route = Some(chosen);
+                    ivc.inspected = true;
+                    self.routers[ri].packets_routed += 1;
+                }
+            }
+        }
+    }
+
+    fn eject(&mut self, flit: Flit) {
+        self.stats.on_flit_delivered();
+        if flit.kind.is_head() {
+            let packet = flit.packet.expect("head flit carries packet");
+            self.pending_heads.insert(flit.packet_id, packet);
+        }
+        if flit.kind.is_tail() {
+            let packet = self
+                .pending_heads
+                .remove(&flit.packet_id)
+                .expect("tail after head");
+            let meta = self
+                .in_flight
+                .remove(&flit.packet_id)
+                .expect("meta tracked from injection");
+            let latency = self.cycle - meta.injected_at;
+            self.stats.on_packet_delivered(
+                latency,
+                meta.hops as u64,
+                meta.modified,
+                matches!(packet.kind(), PacketKind::PowerReq),
+            );
+            if let Some(trace) = self.trace.as_mut() {
+                trace.record(TraceEvent::Ejected {
+                    packet: flit.packet_id,
+                    node: packet.dst(),
+                    cycle: self.cycle,
+                });
+            }
+            self.ejected.push(DeliveredPacket {
+                packet,
+                latency,
+                hops: meta.hops,
+                modified: meta.modified,
+            });
+        }
+    }
+}
+
+impl<I: PacketInspector + std::fmt::Debug> std::fmt::Debug for Network<I> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Network")
+            .field("mesh", &self.mesh)
+            .field("cycle", &self.cycle)
+            .field("in_flight", &self.in_flight.len())
+            .field("inspector", &self.inspector)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net(w: u16, h: u16) -> Network {
+        Network::new(NetworkConfig::new(Mesh2d::new(w, h).unwrap()))
+    }
+
+    #[test]
+    fn single_packet_delivered_with_expected_latency() {
+        let mut n = net(4, 4);
+        n.inject(Packet::power_request(NodeId(0), NodeId(3), 42))
+            .unwrap();
+        assert!(n.run_until_idle(200));
+        let out = n.drain_ejected();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].packet.payload(), 42);
+        assert_eq!(out[0].hops, 3);
+        // 3 hops * (2-cycle router + 1-cycle link) + source router + ejection
+        // overhead: latency is small but nonzero.
+        assert!(out[0].latency >= 9, "latency {}", out[0].latency);
+        assert!(out[0].latency <= 20, "latency {}", out[0].latency);
+        assert!(!out[0].modified);
+    }
+
+    #[test]
+    fn self_addressed_packet_is_delivered() {
+        let mut n = net(4, 4);
+        n.inject(Packet::power_request(NodeId(5), NodeId(5), 7))
+            .unwrap();
+        assert!(n.run_until_idle(100));
+        let out = n.drain_ejected();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].hops, 0);
+    }
+
+    #[test]
+    fn many_packets_all_delivered() {
+        let mut n = net(8, 8);
+        let mut expected = 0u64;
+        for s in 0..64u16 {
+            for d in [0u16, 63, 27] {
+                n.inject(Packet::power_request(NodeId(s), NodeId(d), s as u32))
+                    .unwrap();
+                expected += 1;
+            }
+        }
+        assert!(n.run_until_idle(100_000));
+        assert_eq!(n.stats().delivered_packets(), expected);
+        assert_eq!(n.stats().delivered_power_requests(), expected);
+        assert_eq!(n.stats().infection_rate(), 0.0);
+    }
+
+    #[test]
+    fn data_packets_reassembled() {
+        let mut n = net(4, 4);
+        n.inject(Packet::new(NodeId(0), NodeId(15), PacketKind::Data, 99))
+            .unwrap();
+        assert!(n.run_until_idle(500));
+        let out = n.drain_ejected();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].packet.payload(), 99);
+        assert_eq!(n.stats().delivered_flits(), 5);
+    }
+
+    #[test]
+    fn out_of_range_addresses_rejected() {
+        let mut n = net(4, 4);
+        let err = n
+            .inject(Packet::power_request(NodeId(0), NodeId(16), 1))
+            .unwrap_err();
+        assert!(matches!(err, NocError::NodeOutOfRange { .. }));
+    }
+
+    #[test]
+    fn inspector_tampering_is_observed() {
+        #[derive(Debug)]
+        struct HalveAtNode(NodeId);
+        impl PacketInspector for HalveAtNode {
+            fn inspect(
+                &mut self,
+                router: NodeId,
+                _cycle: u64,
+                packet: &mut Packet,
+            ) -> crate::InspectOutcome {
+                if router == self.0 && matches!(packet.kind(), PacketKind::PowerReq) {
+                    packet.set_payload(packet.payload() / 2);
+                    crate::InspectOutcome::tampered()
+                } else {
+                    crate::InspectOutcome::untouched()
+                }
+            }
+        }
+        let mesh = Mesh2d::new(4, 4).unwrap();
+        // XY route 0 -> 3 passes nodes 0,1,2,3. Trojan at node 2.
+        let mut n = Network::with_inspector(NetworkConfig::new(mesh), HalveAtNode(NodeId(2)));
+        n.inject(Packet::power_request(NodeId(0), NodeId(3), 100))
+            .unwrap();
+        // A packet that avoids node 2 stays clean.
+        n.inject(Packet::power_request(NodeId(4), NodeId(7), 100))
+            .unwrap();
+        assert!(n.run_until_idle(500));
+        let out = n.drain_ejected();
+        let tampered: Vec<_> = out.iter().filter(|d| d.modified).collect();
+        assert_eq!(tampered.len(), 1);
+        assert_eq!(tampered[0].packet.payload(), 50);
+        assert_eq!(tampered[0].packet.dst(), NodeId(3));
+        assert!((n.stats().infection_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inspection_happens_once_per_hop() {
+        #[derive(Debug, Default)]
+        struct Counter(std::collections::HashMap<NodeId, u32>);
+        impl PacketInspector for Counter {
+            fn inspect(
+                &mut self,
+                router: NodeId,
+                _cycle: u64,
+                _packet: &mut Packet,
+            ) -> crate::InspectOutcome {
+                *self.0.entry(router).or_default() += 1;
+                crate::InspectOutcome::untouched()
+            }
+        }
+        let mesh = Mesh2d::new(4, 1).unwrap();
+        let mut n = Network::with_inspector(NetworkConfig::new(mesh), Counter::default());
+        n.inject(Packet::power_request(NodeId(0), NodeId(3), 1))
+            .unwrap();
+        assert!(n.run_until_idle(200));
+        let counts = &n.inspector().0;
+        // Every router on the path saw the header exactly once.
+        for node in [0u16, 1, 2, 3] {
+            assert_eq!(counts.get(&NodeId(node)), Some(&1), "node {node}");
+        }
+    }
+
+    #[test]
+    fn heavy_hotspot_traffic_drains() {
+        // Everyone sends to the center: worst-case contention for VCs and
+        // credits; the network must not deadlock or drop flits.
+        let mesh = Mesh2d::new(8, 8).unwrap();
+        let mut n = Network::new(NetworkConfig::new(mesh));
+        let center = mesh.center();
+        for round in 0..4 {
+            for s in mesh.iter_nodes() {
+                if s != center {
+                    n.inject(Packet::power_request(s, center, round * 100 + s.0 as u32))
+                        .unwrap();
+                }
+            }
+        }
+        assert!(n.run_until_idle(200_000), "hotspot traffic deadlocked");
+        assert_eq!(n.stats().delivered_packets(), 4 * 63);
+    }
+
+    #[test]
+    fn adaptive_routing_delivers_hotspot() {
+        let mesh = Mesh2d::new(8, 8).unwrap();
+        let mut n = Network::new(NetworkConfig::new(mesh).with_routing(RoutingKind::OddEven));
+        let center = mesh.center();
+        for s in mesh.iter_nodes() {
+            if s != center {
+                n.inject(Packet::power_request(s, center, 1)).unwrap();
+            }
+        }
+        assert!(n.run_until_idle(100_000), "odd-even deadlocked");
+        assert_eq!(n.stats().delivered_packets(), 63);
+    }
+
+    #[test]
+    fn mixed_data_and_meta_traffic_drains() {
+        let mesh = Mesh2d::new(6, 6).unwrap();
+        let mut n = Network::new(NetworkConfig::new(mesh));
+        for s in mesh.iter_nodes() {
+            let d = NodeId((s.0 as u32 * 7 % 36) as u16);
+            if s == d {
+                continue;
+            }
+            n.inject(Packet::new(s, d, PacketKind::Data, s.0 as u32))
+                .unwrap();
+            n.inject(Packet::new(s, d, PacketKind::Meta, s.0 as u32))
+                .unwrap();
+        }
+        assert!(n.run_until_idle(100_000));
+        assert!(n.stats().delivered_packets() >= 60);
+    }
+
+    #[test]
+    fn router_counters_track_activity() {
+        let mesh = Mesh2d::new(4, 1).unwrap();
+        let mut n = Network::new(NetworkConfig::new(mesh));
+        n.inject(Packet::power_request(NodeId(3), NodeId(0), 1))
+            .unwrap();
+        assert!(n.run_until_idle(1_000));
+        // Every router on the path routed the header once and forwarded the
+        // single flit once.
+        for node in [3u16, 2, 1, 0] {
+            let r = n.router(NodeId(node));
+            assert_eq!(r.packets_routed(), 1, "node {node}");
+            assert_eq!(r.flits_forwarded(), 1, "node {node}");
+        }
+        let map = n.utilization_map();
+        assert_eq!(map, vec![1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn tracing_reconstructs_packet_life() {
+        let mesh = Mesh2d::new(4, 1).unwrap();
+        let mut n = Network::new(NetworkConfig::new(mesh).with_tracing(256));
+        let id = n
+            .inject(Packet::power_request(NodeId(3), NodeId(0), 1))
+            .unwrap();
+        assert!(n.run_until_idle(1_000));
+        let trace = n.trace().expect("tracing enabled");
+        let hist = trace.packet_history(id);
+        assert!(matches!(hist.first(), Some(crate::TraceEvent::Injected { .. })));
+        assert!(matches!(hist.last(), Some(crate::TraceEvent::Ejected { .. })));
+        assert_eq!(
+            trace.packet_route(id),
+            vec![NodeId(3), NodeId(2), NodeId(1), NodeId(0)]
+        );
+        assert!(trace.tamper_hotspots().is_empty());
+    }
+
+    #[test]
+    fn tracing_disabled_by_default() {
+        let mesh = Mesh2d::new(4, 1).unwrap();
+        let n = Network::new(NetworkConfig::new(mesh));
+        assert!(n.trace().is_none());
+    }
+
+    #[test]
+    fn tracing_records_tamper_events() {
+        #[derive(Debug)]
+        struct ZeroAt(NodeId);
+        impl PacketInspector for ZeroAt {
+            fn inspect(
+                &mut self,
+                router: NodeId,
+                _cycle: u64,
+                packet: &mut Packet,
+            ) -> crate::InspectOutcome {
+                if router == self.0 && packet.payload() != 0 {
+                    packet.set_payload(0);
+                    return crate::InspectOutcome::tampered();
+                }
+                crate::InspectOutcome::untouched()
+            }
+        }
+        let mesh = Mesh2d::new(4, 1).unwrap();
+        let mut n = Network::with_inspector(
+            NetworkConfig::new(mesh).with_tracing(256),
+            ZeroAt(NodeId(1)),
+        );
+        let id = n
+            .inject(Packet::power_request(NodeId(3), NodeId(0), 777))
+            .unwrap();
+        assert!(n.run_until_idle(1_000));
+        let trace = n.trace().unwrap();
+        let tampered: Vec<_> = trace
+            .packet_history(id)
+            .into_iter()
+            .filter(|e| matches!(e, crate::TraceEvent::Tampered { .. }))
+            .collect();
+        assert_eq!(tampered.len(), 1);
+        if let crate::TraceEvent::Tampered {
+            node,
+            payload_before,
+            payload_after,
+            ..
+        } = tampered[0]
+        {
+            assert_eq!(node, NodeId(1));
+            assert_eq!(payload_before, 777);
+            assert_eq!(payload_after, 0);
+        }
+        assert_eq!(trace.tamper_hotspots(), vec![(NodeId(1), 1)]);
+    }
+
+    #[test]
+    fn dropping_inspector_sinks_packets_cleanly() {
+        #[derive(Debug)]
+        struct DropAt(NodeId);
+        impl PacketInspector for DropAt {
+            fn inspect(
+                &mut self,
+                router: NodeId,
+                _cycle: u64,
+                packet: &mut Packet,
+            ) -> crate::InspectOutcome {
+                if router == self.0 && matches!(packet.kind(), PacketKind::PowerReq) {
+                    crate::InspectOutcome::dropped()
+                } else {
+                    crate::InspectOutcome::untouched()
+                }
+            }
+        }
+        let mesh = Mesh2d::new(4, 4).unwrap();
+        let mut n = Network::with_inspector(NetworkConfig::new(mesh), DropAt(NodeId(2)));
+        // Crosses node 2: dropped. Does not: delivered.
+        n.inject(Packet::power_request(NodeId(0), NodeId(3), 1))
+            .unwrap();
+        n.inject(Packet::power_request(NodeId(4), NodeId(7), 2))
+            .unwrap();
+        // A 5-flit data packet through the drop point passes (only PowerReq
+        // is matched by this inspector).
+        n.inject(Packet::new(NodeId(0), NodeId(3), PacketKind::Data, 3))
+            .unwrap();
+        assert!(n.run_until_idle(10_000), "drop left the network busy");
+        let out = n.drain_ejected();
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|d| d.packet.payload() != 1));
+        assert_eq!(n.stats().dropped_packets(), 1);
+        assert_eq!(n.stats().delivered_packets(), 2);
+    }
+
+    #[test]
+    fn dropping_multiflit_packets_releases_all_resources() {
+        #[derive(Debug)]
+        struct DropAll;
+        impl PacketInspector for DropAll {
+            fn inspect(
+                &mut self,
+                router: NodeId,
+                _cycle: u64,
+                _packet: &mut Packet,
+            ) -> crate::InspectOutcome {
+                if router == NodeId(1) {
+                    crate::InspectOutcome::dropped()
+                } else {
+                    crate::InspectOutcome::untouched()
+                }
+            }
+        }
+        let mesh = Mesh2d::new(4, 1).unwrap();
+        let mut n = Network::with_inspector(NetworkConfig::new(mesh), DropAll);
+        // Several 5-flit packets through the sink, back to back: buffers and
+        // credits must fully recover.
+        for i in 0..8 {
+            n.inject(Packet::new(NodeId(3), NodeId(0), PacketKind::Data, i))
+                .unwrap();
+        }
+        assert!(n.run_until_idle(50_000), "sink leaked resources");
+        assert_eq!(n.stats().dropped_packets(), 8);
+        assert_eq!(n.stats().delivered_packets(), 0);
+        assert!(n.router(NodeId(1)).is_idle());
+        // The sink router's buffers drained; credits fully restored on its
+        // upstream neighbour.
+        for vcid in 0..4 {
+            assert!(n.router(NodeId(2)).can_accept(Direction::West, vcid));
+        }
+    }
+
+    #[test]
+    fn stats_latency_increases_with_distance() {
+        let mesh = Mesh2d::new(16, 1).unwrap();
+        let mut near = Network::new(NetworkConfig::new(mesh));
+        near.inject(Packet::power_request(NodeId(0), NodeId(1), 1))
+            .unwrap();
+        near.run_until_idle(100);
+        let near_lat = near.drain_ejected()[0].latency;
+
+        let mut far = Network::new(NetworkConfig::new(mesh));
+        far.inject(Packet::power_request(NodeId(0), NodeId(15), 1))
+            .unwrap();
+        far.run_until_idle(200);
+        let far_lat = far.drain_ejected()[0].latency;
+        assert!(far_lat > near_lat, "{far_lat} vs {near_lat}");
+        // Each extra hop costs ~3 cycles (2-cycle router + 1-cycle link).
+        assert!(far_lat - near_lat >= 14 * 2);
+    }
+}

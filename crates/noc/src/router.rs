@@ -1,0 +1,154 @@
+use crate::topology::{Direction, NodeId};
+use crate::vc::{OutputPort, VirtualChannel};
+
+/// Microarchitectural parameters of a router.
+///
+/// Defaults follow Table I of the paper: 4 virtual channels per input port
+/// and 5-flit buffers ("NoC buffer 5 × 5 flits" — five ports with five-flit
+/// buffers per VC).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouterConfig {
+    /// Virtual channels per input port.
+    pub vcs: usize,
+    /// Flit buffer depth per virtual channel.
+    pub buffer_depth: usize,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            vcs: 4,
+            buffer_depth: 5,
+        }
+    }
+}
+
+/// One mesh router: five input ports (N/S/E/W/Local) with per-port virtual
+/// channels, plus credit state for each output port's downstream buffers.
+///
+/// The router is a passive state container; the cycle-by-cycle pipeline
+/// (buffer write → routing computation → VC/switch allocation → switch
+/// traversal) is driven by [`crate::Network::step`], which models a
+/// two-cycle router and one-cycle links (Table I).
+#[derive(Debug, Clone)]
+pub struct Router {
+    id: NodeId,
+    config: RouterConfig,
+    /// `inputs[dir][vc]` — input-side virtual channels.
+    pub(crate) inputs: Vec<Vec<VirtualChannel>>,
+    /// `outputs[dir]` — credit/allocation state for the downstream port.
+    pub(crate) outputs: Vec<OutputPort>,
+    /// Round-robin pointers for switch allocation, one per output port.
+    pub(crate) sa_rr: Vec<usize>,
+    /// Flits this router pushed through its crossbar (all output ports).
+    pub(crate) flits_forwarded: u64,
+    /// Packet headers that ran routing computation here (= packets that
+    /// transited or terminated at this router).
+    pub(crate) packets_routed: u64,
+}
+
+impl Router {
+    /// Creates an idle router with full credits.
+    #[must_use]
+    pub fn new(id: NodeId, config: RouterConfig) -> Self {
+        Router {
+            id,
+            config,
+            inputs: (0..5)
+                .map(|_| {
+                    (0..config.vcs)
+                        .map(|_| VirtualChannel::new(config.buffer_depth))
+                        .collect()
+                })
+                .collect(),
+            outputs: (0..5)
+                .map(|_| OutputPort::new(config.vcs, config.buffer_depth))
+                .collect(),
+            sa_rr: vec![0; 5],
+            flits_forwarded: 0,
+            packets_routed: 0,
+        }
+    }
+
+    /// This router's node id.
+    #[must_use]
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The router's configuration.
+    #[must_use]
+    pub fn config(&self) -> &RouterConfig {
+        &self.config
+    }
+
+    /// Whether an input VC has room for one more flit.
+    #[must_use]
+    pub fn can_accept(&self, dir: Direction, vc: usize) -> bool {
+        self.inputs[dir.index()][vc].has_space()
+    }
+
+    /// Total buffered flits across all input VCs (used by congestion-aware
+    /// diagnostics and tests).
+    #[must_use]
+    pub fn buffered_flits(&self) -> usize {
+        self.inputs
+            .iter()
+            .flat_map(|port| port.iter())
+            .map(|vc| vc.len())
+            .sum()
+    }
+
+    /// Whether the router holds no flits at all.
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        self.buffered_flits() == 0
+    }
+
+    /// Free credit count on an output port, summed over VCs. Adaptive
+    /// routing uses this as its congestion estimate.
+    #[must_use]
+    pub(crate) fn output_credits(&self, dir: Direction) -> usize {
+        self.outputs[dir.index()].credits.iter().sum()
+    }
+
+    /// Flits this router has pushed through its crossbar so far — a
+    /// utilization measure for congestion heatmaps.
+    #[must_use]
+    pub fn flits_forwarded(&self) -> u64 {
+        self.flits_forwarded
+    }
+
+    /// Packet headers that ran routing computation here.
+    #[must_use]
+    pub fn packets_routed(&self) -> u64 {
+        self.packets_routed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_matches_table1() {
+        let c = RouterConfig::default();
+        assert_eq!(c.vcs, 4);
+        assert_eq!(c.buffer_depth, 5);
+    }
+
+    #[test]
+    fn new_router_is_idle_with_full_credits() {
+        let r = Router::new(NodeId(3), RouterConfig::default());
+        assert!(r.is_idle());
+        assert_eq!(r.buffered_flits(), 0);
+        assert_eq!(r.flits_forwarded(), 0);
+        assert_eq!(r.packets_routed(), 0);
+        for dir in Direction::ALL {
+            assert_eq!(r.output_credits(dir), 4 * 5);
+            for vc in 0..4 {
+                assert!(r.can_accept(dir, vc));
+            }
+        }
+    }
+}

@@ -1,0 +1,352 @@
+use crate::topology::{Coord, Direction, Mesh2d, NodeId};
+
+/// Selects which routing algorithm a [`crate::Network`] uses.
+///
+/// Table I of the paper lists XY routing; Section V-A states the evaluation
+/// platform is "a 16×16 2D mesh with adaptive routing". Both are provided
+/// (plus west-first as a second adaptive option); the adaptive algorithms
+/// are minimal turn-model routing — odd-even and west-first — both
+/// deadlock-free on 2D meshes without extra virtual channels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum RoutingKind {
+    /// Deterministic dimension-ordered XY routing.
+    #[default]
+    Xy,
+    /// Minimal-adaptive odd-even turn routing.
+    OddEven,
+    /// Minimal-adaptive west-first turn routing.
+    WestFirst,
+}
+
+impl RoutingKind {
+    /// All built-in routing algorithms (for ablation sweeps).
+    pub const ALL: [RoutingKind; 3] = [
+        RoutingKind::Xy,
+        RoutingKind::OddEven,
+        RoutingKind::WestFirst,
+    ];
+
+    /// Instantiates the algorithm.
+    #[must_use]
+    pub fn build(self) -> Box<dyn RoutingAlgorithm> {
+        match self {
+            RoutingKind::Xy => Box::new(XyRouting),
+            RoutingKind::OddEven => Box::new(OddEvenRouting),
+            RoutingKind::WestFirst => Box::new(WestFirstRouting),
+        }
+    }
+}
+
+/// A mesh routing function.
+///
+/// Implementations must be minimal (every returned direction reduces the
+/// Manhattan distance to the destination) and deadlock-free under wormhole
+/// switching with credit flow control.
+pub trait RoutingAlgorithm: Send {
+    /// Computes the candidate output directions for a packet at `current`
+    /// heading to `dst`, in preference order. `in_dir` is the port the
+    /// packet arrived on (`Local` for freshly injected packets); adaptive
+    /// algorithms use it to enforce turn restrictions.
+    ///
+    /// Returns [`Direction::Local`] as the single candidate when
+    /// `current == dst`.
+    fn route(
+        &self,
+        mesh: Mesh2d,
+        current: NodeId,
+        dst: NodeId,
+        in_dir: Direction,
+    ) -> Vec<Direction>;
+
+    /// A short human-readable name for logs and bench output.
+    fn name(&self) -> &'static str;
+}
+
+/// Deterministic dimension-ordered XY routing: exhaust the X offset, then
+/// the Y offset. Deadlock-free because it never takes a Y→X turn.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct XyRouting;
+
+impl RoutingAlgorithm for XyRouting {
+    fn route(
+        &self,
+        mesh: Mesh2d,
+        current: NodeId,
+        dst: NodeId,
+        _in_dir: Direction,
+    ) -> Vec<Direction> {
+        let c = mesh.coord(current);
+        let d = mesh.coord(dst);
+        if c == d {
+            return vec![Direction::Local];
+        }
+        if d.x > c.x {
+            vec![Direction::East]
+        } else if d.x < c.x {
+            vec![Direction::West]
+        } else if d.y > c.y {
+            vec![Direction::South]
+        } else {
+            vec![Direction::North]
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "xy"
+    }
+}
+
+/// Minimal-adaptive odd-even turn routing (Chiu, 2000).
+///
+/// Turn restrictions: in even columns no East→North / East→South turn start
+/// is restricted — concretely, EN/ES turns are forbidden in even columns and
+/// NW/SW turns are forbidden in odd columns. The candidate set returned is
+/// the set of minimal directions allowed by those rules, ordered so that the
+/// less-congested dimension (larger remaining offset) is preferred.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OddEvenRouting;
+
+impl OddEvenRouting {
+    fn allowed(c: Coord, d: Coord, s: Coord) -> Vec<Direction> {
+        let mut out = Vec::with_capacity(2);
+        let ex = d.x as i32 - c.x as i32;
+        let ey = d.y as i32 - c.y as i32;
+        if ex == 0 && ey == 0 {
+            return vec![Direction::Local];
+        }
+        let even_col = c.x % 2 == 0;
+        if ex > 0 {
+            // Eastbound: turning off the E channel (E→N / E→S) is only legal
+            // in odd columns, so only offer the Y moves there — unless the
+            // packet is already aligned in X.
+            if ey == 0 {
+                out.push(Direction::East);
+            } else {
+                if !even_col || c.x == s.x {
+                    if ey > 0 {
+                        out.push(Direction::South);
+                    } else {
+                        out.push(Direction::North);
+                    }
+                }
+                out.push(Direction::East);
+            }
+        } else if ex < 0 {
+            // Westbound: N→W / S→W turns end in even columns only when the
+            // destination column is even-adjacent; the classic rule forbids
+            // NW/SW turns taken *into* odd columns. Minimal implementation:
+            // always allow West; allow the Y move only in even columns.
+            if ey != 0 && even_col {
+                if ey > 0 {
+                    out.push(Direction::South);
+                } else {
+                    out.push(Direction::North);
+                }
+            }
+            out.push(Direction::West);
+        } else {
+            // X aligned: go straight along Y.
+            if ey > 0 {
+                out.push(Direction::South);
+            } else {
+                out.push(Direction::North);
+            }
+        }
+        out
+    }
+}
+
+impl RoutingAlgorithm for OddEvenRouting {
+    fn route(
+        &self,
+        mesh: Mesh2d,
+        current: NodeId,
+        dst: NodeId,
+        in_dir: Direction,
+    ) -> Vec<Direction> {
+        // `in_dir == Local` means the packet was injected here; the source
+        // column equals the current column in that case.
+        let src_col_hint = mesh.coord(current);
+        let _ = in_dir;
+        Self::allowed(mesh.coord(current), mesh.coord(dst), src_col_hint)
+    }
+
+    fn name(&self) -> &'static str {
+        "odd-even"
+    }
+}
+
+/// Minimal-adaptive west-first turn routing (Glass & Ni, 1992).
+///
+/// Turn rule: any turn *to* the West is forbidden, so all required West
+/// hops are taken first (deterministically); once the packet no longer
+/// needs to travel West, it may route fully adaptively among the remaining
+/// minimal directions. Deadlock-free on 2D meshes without extra VCs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WestFirstRouting;
+
+impl RoutingAlgorithm for WestFirstRouting {
+    fn route(
+        &self,
+        mesh: Mesh2d,
+        current: NodeId,
+        dst: NodeId,
+        _in_dir: Direction,
+    ) -> Vec<Direction> {
+        let c = mesh.coord(current);
+        let d = mesh.coord(dst);
+        if c == d {
+            return vec![Direction::Local];
+        }
+        if d.x < c.x {
+            // West hops first, exclusively.
+            return vec![Direction::West];
+        }
+        // No West component left: adaptive among the minimal E/N/S moves.
+        let mut out = Vec::with_capacity(2);
+        if d.x > c.x {
+            out.push(Direction::East);
+        }
+        if d.y > c.y {
+            out.push(Direction::South);
+        } else if d.y < c.y {
+            out.push(Direction::North);
+        }
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        "west-first"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mesh() -> Mesh2d {
+        Mesh2d::new(8, 8).unwrap()
+    }
+
+    #[test]
+    fn xy_reaches_destination_eventually() {
+        let m = mesh();
+        let r = XyRouting;
+        let mut cur = NodeId(0);
+        let dst = NodeId(63);
+        let mut hops = 0;
+        loop {
+            let dirs = r.route(m, cur, dst, Direction::Local);
+            assert_eq!(dirs.len(), 1, "XY is deterministic");
+            if dirs[0] == Direction::Local {
+                break;
+            }
+            cur = m.neighbor(cur, dirs[0]).expect("XY never leaves the mesh");
+            hops += 1;
+            assert!(hops <= 14, "XY route is minimal");
+        }
+        assert_eq!(cur, dst);
+        assert_eq!(hops, 14);
+    }
+
+    #[test]
+    fn xy_is_x_first() {
+        let m = mesh();
+        let dirs = XyRouting.route(m, NodeId(0), NodeId(63), Direction::Local);
+        assert_eq!(dirs, vec![Direction::East]);
+        // Same column: moves in Y.
+        let dirs = XyRouting.route(m, NodeId(7), NodeId(63), Direction::Local);
+        assert_eq!(dirs, vec![Direction::South]);
+    }
+
+    #[test]
+    fn routes_at_destination_are_local() {
+        let m = mesh();
+        for kind in RoutingKind::ALL {
+            let dirs = kind.build().route(m, NodeId(20), NodeId(20), Direction::North);
+            assert_eq!(dirs, vec![Direction::Local], "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn west_first_exhausts_west_before_adapting() {
+        let m = mesh();
+        let r = WestFirstRouting;
+        // dst is west and south of src: only West offered.
+        let dirs = r.route(m, NodeId(12), NodeId(24), Direction::Local); // (4,1) -> (0,3)
+        assert_eq!(dirs, vec![Direction::West]);
+        // dst is east and south: both adaptive options offered.
+        let dirs = r.route(m, NodeId(0), NodeId(63), Direction::Local);
+        assert_eq!(dirs, vec![Direction::East, Direction::South]);
+    }
+
+    #[test]
+    fn west_first_candidates_are_minimal_on_all_pairs() {
+        let m = Mesh2d::new(6, 6).unwrap();
+        let r = WestFirstRouting;
+        for src in m.iter_nodes() {
+            for dst in m.iter_nodes() {
+                for dir in r.route(m, src, dst, Direction::Local) {
+                    if dir == Direction::Local {
+                        assert_eq!(src, dst);
+                        continue;
+                    }
+                    let next = m.neighbor(src, dir).expect("stays in mesh");
+                    assert_eq!(
+                        m.distance(next, dst) + 1,
+                        m.distance(src, dst),
+                        "{dir:?} from {src} to {dst} not minimal"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn odd_even_candidates_are_minimal() {
+        let m = mesh();
+        let r = OddEvenRouting;
+        for src in m.iter_nodes() {
+            for dst in m.iter_nodes() {
+                let dirs = r.route(m, src, dst, Direction::Local);
+                assert!(!dirs.is_empty());
+                for d in &dirs {
+                    if *d == Direction::Local {
+                        assert_eq!(src, dst);
+                        continue;
+                    }
+                    let next = m
+                        .neighbor(src, *d)
+                        .expect("candidate must stay inside the mesh");
+                    assert_eq!(
+                        m.distance(next, dst) + 1,
+                        m.distance(src, dst),
+                        "candidate {d:?} from {src} to {dst} is not minimal"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn odd_even_terminates_on_all_pairs() {
+        let m = Mesh2d::new(6, 6).unwrap();
+        let r = OddEvenRouting;
+        for src in m.iter_nodes() {
+            for dst in m.iter_nodes() {
+                let mut cur = src;
+                let mut hops = 0u32;
+                loop {
+                    let dirs = r.route(m, cur, dst, Direction::Local);
+                    if dirs[0] == Direction::Local {
+                        break;
+                    }
+                    cur = m.neighbor(cur, dirs[0]).unwrap();
+                    hops += 1;
+                    assert!(hops <= m.distance(src, dst), "route not minimal");
+                }
+                assert_eq!(cur, dst);
+            }
+        }
+    }
+}

@@ -1,0 +1,162 @@
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::packet::{Packet, PacketKind};
+use crate::topology::{Mesh2d, NodeId};
+
+/// A synthetic traffic generator used by NoC-only tests and throughput
+/// benchmarks.
+///
+/// Implementations are cycle-driven: [`TrafficPattern::generate`] is called
+/// once per cycle and returns the packets to inject this cycle.
+pub trait TrafficPattern {
+    /// Packets to inject at `cycle`.
+    fn generate(&mut self, cycle: u64) -> Vec<Packet>;
+}
+
+/// Uniform-random traffic: every cycle each node independently injects a
+/// packet with probability `rate`, addressed to a uniformly random other
+/// node.
+#[derive(Debug)]
+pub struct UniformTraffic {
+    mesh: Mesh2d,
+    rate: f64,
+    kind: PacketKind,
+    rng: StdRng,
+}
+
+impl UniformTraffic {
+    /// Creates a generator with per-node-per-cycle injection probability
+    /// `rate` (flits of kind `kind`), seeded deterministically.
+    #[must_use]
+    pub fn new(mesh: Mesh2d, rate: f64, kind: PacketKind, seed: u64) -> Self {
+        UniformTraffic {
+            mesh,
+            rate,
+            kind,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl TrafficPattern for UniformTraffic {
+    fn generate(&mut self, _cycle: u64) -> Vec<Packet> {
+        let nodes = self.mesh.nodes();
+        let mut out = Vec::new();
+        for src in 0..nodes {
+            if self.rng.gen_bool(self.rate) {
+                let mut dst = self.rng.gen_range(0..nodes);
+                if dst == src {
+                    dst = (dst + 1) % nodes;
+                }
+                out.push(Packet::new(
+                    NodeId(src as u16),
+                    NodeId(dst as u16),
+                    self.kind,
+                    src,
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Hotspot traffic: every node periodically sends a `POWER_REQ` packet to a
+/// fixed hotspot (the global manager). This is the traffic shape that the
+/// paper's power-budgeting protocol produces each budgeting epoch.
+#[derive(Debug)]
+pub struct HotspotTraffic {
+    mesh: Mesh2d,
+    hotspot: NodeId,
+    period: u64,
+    rng: StdRng,
+    jitter: u64,
+    offsets: Vec<u64>,
+}
+
+impl HotspotTraffic {
+    /// Creates a generator where each node sends one power request to
+    /// `hotspot` every `period` cycles, with per-node phase jitter of up to
+    /// `jitter` cycles to avoid a synchronized burst.
+    #[must_use]
+    pub fn new(mesh: Mesh2d, hotspot: NodeId, period: u64, jitter: u64, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let offsets = (0..mesh.nodes())
+            .map(|_| if jitter == 0 { 0 } else { rng.gen_range(0..jitter) })
+            .collect();
+        HotspotTraffic {
+            mesh,
+            hotspot,
+            period,
+            rng,
+            jitter,
+            offsets,
+        }
+    }
+}
+
+impl TrafficPattern for HotspotTraffic {
+    fn generate(&mut self, cycle: u64) -> Vec<Packet> {
+        let mut out = Vec::new();
+        for src in self.mesh.iter_nodes() {
+            if src == self.hotspot {
+                continue;
+            }
+            let phase = self.offsets[src.0 as usize];
+            if cycle >= phase && (cycle - phase) % self.period == 0 {
+                let watts = self.rng.gen_range(500..5_000);
+                out.push(Packet::power_request(src, self.hotspot, watts));
+            }
+        }
+        let _ = self.jitter;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_traffic_is_deterministic_per_seed() {
+        let mesh = Mesh2d::new(4, 4).unwrap();
+        let mut a = UniformTraffic::new(mesh, 0.5, PacketKind::Meta, 7);
+        let mut b = UniformTraffic::new(mesh, 0.5, PacketKind::Meta, 7);
+        for c in 0..20 {
+            assert_eq!(a.generate(c), b.generate(c));
+        }
+    }
+
+    #[test]
+    fn uniform_traffic_never_self_addresses() {
+        let mesh = Mesh2d::new(4, 4).unwrap();
+        let mut t = UniformTraffic::new(mesh, 1.0, PacketKind::Meta, 3);
+        for c in 0..50 {
+            for p in t.generate(c) {
+                assert_ne!(p.src(), p.dst());
+            }
+        }
+    }
+
+    #[test]
+    fn hotspot_period_respected() {
+        let mesh = Mesh2d::new(4, 4).unwrap();
+        let hs = mesh.center();
+        let mut t = HotspotTraffic::new(mesh, hs, 10, 0, 1);
+        let burst = t.generate(0);
+        assert_eq!(burst.len() as u32, mesh.nodes() - 1);
+        assert!(burst.iter().all(|p| p.dst() == hs));
+        for c in 1..10 {
+            assert!(t.generate(c).is_empty());
+        }
+        assert_eq!(t.generate(10).len() as u32, mesh.nodes() - 1);
+    }
+
+    #[test]
+    fn hotspot_jitter_spreads_bursts() {
+        let mesh = Mesh2d::new(8, 8).unwrap();
+        let mut t = HotspotTraffic::new(mesh, mesh.center(), 100, 50, 2);
+        let first_burst = t.generate(0).len();
+        assert!((first_burst as u32) < mesh.nodes() - 1);
+    }
+}

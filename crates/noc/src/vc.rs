@@ -1,0 +1,174 @@
+use std::collections::VecDeque;
+
+use crate::flit::Flit;
+use crate::topology::Direction;
+
+/// Per-virtual-channel input state of a router port.
+///
+/// Table I configures 4 virtual channels per port with 5-flit buffers.
+#[derive(Debug, Clone)]
+pub(crate) struct VirtualChannel {
+    /// Buffered flits, each stamped with the cycle it entered this buffer;
+    /// a flit may not traverse the switch in its arrival cycle, which gives
+    /// every flit at least one full cycle inside the router.
+    buffer: VecDeque<(Flit, u64)>,
+    capacity: usize,
+    /// Output port chosen by routing computation for the packet currently
+    /// occupying this VC (`None` until RC runs on the head flit).
+    pub route: Option<Direction>,
+    /// Downstream VC granted by VC allocation (`None` until VA succeeds).
+    pub out_vc: Option<usize>,
+    /// Whether the packet's head flit has been inspected at this router
+    /// (the Trojan hook fires once per hop).
+    pub inspected: bool,
+    /// Set when an inspector ordered the current packet dropped: arriving
+    /// and buffered flits are sunk instead of forwarded, until the tail.
+    pub dropping: bool,
+}
+
+impl VirtualChannel {
+    pub(crate) fn new(capacity: usize) -> Self {
+        VirtualChannel {
+            buffer: VecDeque::with_capacity(capacity),
+            capacity,
+            route: None,
+            out_vc: None,
+            inspected: false,
+            dropping: false,
+        }
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.buffer.is_empty()
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.buffer.len()
+    }
+
+    pub(crate) fn has_space(&self) -> bool {
+        self.buffer.len() < self.capacity
+    }
+
+    /// Cycle at which the front flit entered this buffer.
+    pub(crate) fn front_arrived_at(&self) -> Option<u64> {
+        self.buffer.front().map(|(_, at)| *at)
+    }
+
+    pub(crate) fn front_mut(&mut self) -> Option<&mut Flit> {
+        self.buffer.front_mut().map(|(f, _)| f)
+    }
+
+    /// Pushes an arriving flit. Callers must check [`Self::has_space`]; the
+    /// credit protocol guarantees upstream never overruns the buffer.
+    pub(crate) fn push(&mut self, flit: Flit, now: u64) {
+        debug_assert!(self.has_space(), "credit protocol violated: VC overrun");
+        self.buffer.push_back((flit, now));
+    }
+
+    /// Pops the flit at the head of the buffer. When the popped flit is the
+    /// packet's tail, the VC's routing state is cleared so the next packet
+    /// re-runs RC/VA.
+    pub(crate) fn pop(&mut self) -> Option<Flit> {
+        let (flit, _) = self.buffer.pop_front()?;
+        if flit.kind.is_tail() {
+            self.route = None;
+            self.out_vc = None;
+            self.inspected = false;
+            self.dropping = false;
+        }
+        Some(flit)
+    }
+}
+
+/// Credit and allocation state a router keeps for one downstream input port.
+#[derive(Debug, Clone)]
+pub(crate) struct OutputPort {
+    /// Flit credits per downstream VC (starts at the buffer depth).
+    pub credits: Vec<usize>,
+    /// Whether each downstream VC is currently allocated to some packet.
+    pub allocated: Vec<bool>,
+}
+
+impl OutputPort {
+    pub(crate) fn new(vcs: usize, buffer_depth: usize) -> Self {
+        OutputPort {
+            credits: vec![buffer_depth; vcs],
+            allocated: vec![false; vcs],
+        }
+    }
+
+    /// Finds a free downstream VC, preferring lower indices.
+    pub(crate) fn free_vc(&self) -> Option<usize> {
+        self.allocated.iter().position(|a| !a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flit::FlitKind;
+    use crate::packet::{Packet, PacketKind};
+    use crate::topology::NodeId;
+
+    fn data_flits() -> Vec<Flit> {
+        Flit::packetize(
+            Packet::new(NodeId(0), NodeId(1), PacketKind::Data, 0),
+            1,
+            0,
+        )
+    }
+
+    #[test]
+    fn vc_capacity_respected() {
+        let mut vc = VirtualChannel::new(5);
+        for f in data_flits() {
+            assert!(vc.has_space());
+            vc.push(f, 0);
+        }
+        assert!(!vc.has_space());
+        assert_eq!(vc.len(), 5);
+    }
+
+    #[test]
+    fn front_arrival_stamp_preserved() {
+        let mut vc = VirtualChannel::new(5);
+        for (i, f) in data_flits().into_iter().enumerate() {
+            vc.push(f, 10 + i as u64);
+        }
+        assert_eq!(vc.front_arrived_at(), Some(10));
+        vc.pop();
+        assert_eq!(vc.front_arrived_at(), Some(11));
+    }
+
+    #[test]
+    fn tail_pop_clears_route_state() {
+        let mut vc = VirtualChannel::new(5);
+        for f in data_flits() {
+            vc.push(f, 0);
+        }
+        vc.route = Some(Direction::East);
+        vc.out_vc = Some(2);
+        vc.inspected = true;
+        for _ in 0..4 {
+            vc.pop();
+            assert_eq!(vc.route, Some(Direction::East));
+        }
+        let tail = vc.pop().unwrap();
+        assert_eq!(tail.kind, FlitKind::Tail);
+        assert_eq!(vc.route, None);
+        assert_eq!(vc.out_vc, None);
+        assert!(!vc.inspected);
+    }
+
+    #[test]
+    fn output_port_free_vc() {
+        let mut port = OutputPort::new(4, 5);
+        assert_eq!(port.free_vc(), Some(0));
+        port.allocated[0] = true;
+        port.allocated[1] = true;
+        assert_eq!(port.free_vc(), Some(2));
+        port.allocated = vec![true; 4];
+        assert_eq!(port.free_vc(), None);
+    }
+}

@@ -1,0 +1,57 @@
+use std::fmt;
+
+/// Errors produced by the power-budgeting subsystem.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PowerError {
+    /// A DVFS table was constructed with no levels, unsorted frequencies, or
+    /// non-positive frequency/voltage values.
+    InvalidDvfsTable {
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+    /// A budget or request value was negative or not finite.
+    InvalidPowerValue {
+        /// The offending value in milliwatts.
+        milliwatts: f64,
+    },
+}
+
+impl fmt::Display for PowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PowerError::InvalidDvfsTable { reason } => {
+                write!(f, "invalid DVFS table: {reason}")
+            }
+            PowerError::InvalidPowerValue { milliwatts } => {
+                write!(f, "invalid power value: {milliwatts} mW")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PowerError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        assert_eq!(
+            PowerError::InvalidDvfsTable { reason: "no levels" }.to_string(),
+            "invalid DVFS table: no levels"
+        );
+        assert_eq!(
+            PowerError::InvalidPowerValue { milliwatts: -3.0 }.to_string(),
+            "invalid power value: -3 mW"
+        );
+    }
+
+    #[test]
+    fn implements_std_error() {
+        let e: Box<dyn std::error::Error> =
+            Box::new(PowerError::InvalidPowerValue { milliwatts: f64::NAN });
+        assert!(e.source().is_none());
+    }
+}

@@ -1,0 +1,46 @@
+//! Power/frequency modelling and global-manager power budgeting for
+//! many-core chips.
+//!
+//! This crate is the *power budgeting scheme* the SOCC 2018 Trojan paper
+//! attacks (Section II-A): cores request power each budgeting epoch, a
+//! designated **global manager** core collects the requests and divides a
+//! fixed chip-level budget among them, and each core then runs at the
+//! highest DVFS level its granted power affords.
+//!
+//! Four allocation strategies are provided, mirroring the strategy families
+//! cited by the paper — a greedy heuristic (à la SmartCap \[8\]), a
+//! proportional-share policy (market-style \[6\]), a PI controller
+//! (PGCapping \[12\]) and a dynamic-programming optimal allocator
+//! (fine-grained runtime budgeting \[9\]). All of them share one property the
+//! attack exploits: *no core is ever granted more than it requested*, so a
+//! tampered (lowered) request directly starves its sender.
+//!
+//! ```
+//! use htpb_power::{GlobalManager, GreedyAllocator, PowerModel, PowerRequest};
+//!
+//! let model = PowerModel::default_45nm();
+//! let mut gm = GlobalManager::new(5_000.0, Box::new(GreedyAllocator::new()));
+//! gm.submit(PowerRequest::new(0, 2_000.0));
+//! gm.submit(PowerRequest::new(1, 4_000.0));
+//! let grants = gm.run_epoch(&model);
+//! let total: f64 = grants.iter().map(|g| g.milliwatts).sum();
+//! assert!(total <= 5_000.0 + 1e-9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod alloc;
+mod error;
+mod manager;
+mod model;
+mod request;
+
+pub use alloc::{
+    AllocatorKind, DpAllocator, FairShareAllocator, GreedyAllocator, MarketAllocator, PiAllocator,
+    PowerAllocator,
+};
+pub use error::PowerError;
+pub use manager::{EpochSummary, GlobalManager};
+pub use model::{DvfsTable, FrequencyLevel, PowerModel};
+pub use request::{PowerGrant, PowerRequest};

@@ -1,0 +1,231 @@
+use crate::alloc::PowerAllocator;
+use crate::model::PowerModel;
+use crate::request::{PowerGrant, PowerRequest};
+
+/// Aggregate outcome of one budgeting epoch (diagnostics).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpochSummary {
+    /// Zero-based epoch index.
+    pub epoch: u64,
+    /// Number of distinct requesting cores.
+    pub requesters: usize,
+    /// Sum of (possibly tampered) requests the manager saw, in mW.
+    pub total_requested_mw: f64,
+    /// Sum of issued grants, in mW.
+    pub total_granted_mw: f64,
+}
+
+/// The global manager core: collects `POWER_REQ` values and divides the
+/// chip's power budget among requesters once per budgeting epoch
+/// (Section II-A of the paper).
+///
+/// The manager is transport-agnostic: the many-core system layer feeds it
+/// the payloads of delivered `POWER_REQ` packets via [`GlobalManager::submit`]
+/// and ships the returned grants back as `POWER_GRANT` packets. The manager
+/// trusts every value it receives — it has no mechanism to detect that a
+/// request was modified in flight, which is the vulnerability under study.
+pub struct GlobalManager {
+    budget_mw: f64,
+    allocator: Box<dyn PowerAllocator>,
+    pending: Vec<PowerRequest>,
+    epoch: u64,
+    last_summary: Option<EpochSummary>,
+    history: Vec<EpochSummary>,
+}
+
+/// Epoch summaries retained by [`GlobalManager::history`].
+const HISTORY_CAPACITY: usize = 1024;
+
+impl GlobalManager {
+    /// Creates a manager with a chip-level budget (mW) and a policy.
+    #[must_use]
+    pub fn new(budget_mw: f64, allocator: Box<dyn PowerAllocator>) -> Self {
+        GlobalManager {
+            budget_mw: budget_mw.max(0.0),
+            allocator,
+            pending: Vec::new(),
+            epoch: 0,
+            last_summary: None,
+            history: Vec::new(),
+        }
+    }
+
+    /// The chip-level budget in mW.
+    #[must_use]
+    pub fn budget_mw(&self) -> f64 {
+        self.budget_mw
+    }
+
+    /// Name of the active allocation policy.
+    #[must_use]
+    pub fn allocator_name(&self) -> &'static str {
+        self.allocator.name()
+    }
+
+    /// Records a request received this epoch. A second request from the same
+    /// core within one epoch supersedes the first.
+    pub fn submit(&mut self, request: PowerRequest) {
+        if let Some(existing) = self.pending.iter_mut().find(|r| r.core == request.core) {
+            *existing = request;
+        } else {
+            self.pending.push(request);
+        }
+    }
+
+    /// Number of requests waiting for the next epoch.
+    #[must_use]
+    pub fn pending_requests(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Closes the epoch: runs the allocator over all pending requests and
+    /// returns the grants (sorted by core id). Pending state is cleared.
+    pub fn run_epoch(&mut self, model: &PowerModel) -> Vec<PowerGrant> {
+        self.pending.sort_by_key(|r| r.core);
+        let mut grants = self
+            .allocator
+            .allocate(&self.pending, self.budget_mw, model);
+        grants.sort_by_key(|g| g.core);
+        let summary = EpochSummary {
+            epoch: self.epoch,
+            requesters: self.pending.len(),
+            total_requested_mw: self.pending.iter().map(|r| r.milliwatts.max(0.0)).sum(),
+            total_granted_mw: grants.iter().map(|g| g.milliwatts).sum(),
+        };
+        self.last_summary = Some(summary);
+        if self.history.len() == HISTORY_CAPACITY {
+            self.history.remove(0);
+        }
+        self.history.push(summary);
+        self.epoch += 1;
+        self.pending.clear();
+        grants
+    }
+
+    /// Summaries of the most recent epochs (up to 1024), oldest first —
+    /// the time series behind demand/grant trend plots and the anomaly
+    /// detector's training data.
+    #[must_use]
+    pub fn history(&self) -> &[EpochSummary] {
+        &self.history
+    }
+
+    /// Summary of the most recent epoch, if any ran.
+    #[must_use]
+    pub fn last_summary(&self) -> Option<EpochSummary> {
+        self.last_summary
+    }
+
+    /// Epochs completed so far.
+    #[must_use]
+    pub fn epochs_run(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Resets allocator controller state (e.g. between independent runs).
+    pub fn reset(&mut self) {
+        self.allocator.reset();
+        self.pending.clear();
+        self.epoch = 0;
+        self.last_summary = None;
+        self.history.clear();
+    }
+}
+
+impl std::fmt::Debug for GlobalManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GlobalManager")
+            .field("budget_mw", &self.budget_mw)
+            .field("allocator", &self.allocator.name())
+            .field("pending", &self.pending.len())
+            .field("epoch", &self.epoch)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alloc::{FairShareAllocator, GreedyAllocator};
+
+    #[test]
+    fn epoch_clears_pending_and_counts() {
+        let model = PowerModel::default_45nm();
+        let mut gm = GlobalManager::new(4_000.0, Box::new(FairShareAllocator::new()));
+        gm.submit(PowerRequest::new(0, 1_000.0));
+        gm.submit(PowerRequest::new(1, 2_000.0));
+        assert_eq!(gm.pending_requests(), 2);
+        let grants = gm.run_epoch(&model);
+        assert_eq!(grants.len(), 2);
+        assert_eq!(gm.pending_requests(), 0);
+        assert_eq!(gm.epochs_run(), 1);
+        let s = gm.last_summary().unwrap();
+        assert_eq!(s.requesters, 2);
+        assert!((s.total_requested_mw - 3_000.0).abs() < 1e-9);
+        assert!(s.total_granted_mw <= 4_000.0 + 1e-9);
+    }
+
+    #[test]
+    fn duplicate_submission_supersedes() {
+        let model = PowerModel::default_45nm();
+        let mut gm = GlobalManager::new(10_000.0, Box::new(GreedyAllocator::new()));
+        gm.submit(PowerRequest::new(5, 3_000.0));
+        gm.submit(PowerRequest::new(5, 100.0));
+        assert_eq!(gm.pending_requests(), 1);
+        let grants = gm.run_epoch(&model);
+        assert_eq!(grants.len(), 1);
+        assert!((grants[0].milliwatts - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn grants_sorted_by_core() {
+        let model = PowerModel::default_45nm();
+        let mut gm = GlobalManager::new(10_000.0, Box::new(GreedyAllocator::new()));
+        for core in [9u16, 2, 7, 0] {
+            gm.submit(PowerRequest::new(core, 500.0));
+        }
+        let grants = gm.run_epoch(&model);
+        let cores: Vec<u16> = grants.iter().map(|g| g.core).collect();
+        assert_eq!(cores, vec![0, 2, 7, 9]);
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let model = PowerModel::default_45nm();
+        let mut gm = GlobalManager::new(1_000.0, Box::new(GreedyAllocator::new()));
+        gm.submit(PowerRequest::new(0, 1.0));
+        gm.run_epoch(&model);
+        gm.submit(PowerRequest::new(1, 1.0));
+        gm.reset();
+        assert_eq!(gm.pending_requests(), 0);
+        assert_eq!(gm.epochs_run(), 0);
+        assert!(gm.last_summary().is_none());
+    }
+
+    #[test]
+    fn history_accumulates_and_is_bounded_logically() {
+        let model = PowerModel::default_45nm();
+        let mut gm = GlobalManager::new(2_000.0, Box::new(GreedyAllocator::new()));
+        for i in 0..5 {
+            gm.submit(PowerRequest::new(0, 100.0 * f64::from(i)));
+            gm.run_epoch(&model);
+        }
+        let h = gm.history();
+        assert_eq!(h.len(), 5);
+        assert_eq!(h[0].epoch, 0);
+        assert_eq!(h[4].epoch, 4);
+        assert!((h[3].total_requested_mw - 300.0).abs() < 1e-9);
+        gm.reset();
+        assert!(gm.history().is_empty());
+    }
+
+    #[test]
+    fn negative_budget_clamped_to_zero() {
+        let model = PowerModel::default_45nm();
+        let mut gm = GlobalManager::new(-5.0, Box::new(GreedyAllocator::new()));
+        assert_eq!(gm.budget_mw(), 0.0);
+        gm.submit(PowerRequest::new(0, 100.0));
+        let grants = gm.run_epoch(&model);
+        assert!(grants[0].milliwatts.abs() < 1e-12);
+    }
+}

@@ -1,0 +1,53 @@
+/// A power-budget request as received by the global manager.
+///
+/// On the wire this is the payload of a `POWER_REQ` packet (Fig. 1a); the
+/// core id corresponds to the packet's source address. The global manager
+/// has no way to verify the value — which is precisely the vulnerability the
+/// Trojan exploits.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerRequest {
+    /// Requesting core (source address of the `POWER_REQ` packet).
+    pub core: u16,
+    /// Requested power in milliwatts, as carried in the packet payload.
+    pub milliwatts: f64,
+}
+
+impl PowerRequest {
+    /// Creates a request.
+    #[must_use]
+    pub fn new(core: u16, milliwatts: f64) -> Self {
+        PowerRequest { core, milliwatts }
+    }
+}
+
+/// A power grant issued by the global manager for one budgeting epoch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerGrant {
+    /// Core the grant is addressed to.
+    pub core: u16,
+    /// Granted power in milliwatts.
+    pub milliwatts: f64,
+}
+
+impl PowerGrant {
+    /// Creates a grant.
+    #[must_use]
+    pub fn new(core: u16, milliwatts: f64) -> Self {
+        PowerGrant { core, milliwatts }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_store_fields() {
+        let r = PowerRequest::new(9, 1234.5);
+        assert_eq!(r.core, 9);
+        assert!((r.milliwatts - 1234.5).abs() < 1e-12);
+        let g = PowerGrant::new(3, 42.0);
+        assert_eq!(g.core, 3);
+        assert!((g.milliwatts - 42.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,147 @@
+//! Property-based tests of the Trojan circuit: the triggering module's
+//! match conditions are exact — no packet outside the specified trigger set
+//! is ever modified, and every packet inside it is.
+
+use proptest::prelude::*;
+
+use htpb_noc::{
+    ActivationSignal, InspectOutcome, NodeId, Packet, PacketInspector, PacketKind,
+};
+use htpb_trojan::{ActivationSchedule, BoostRule, HardwareTrojan, TamperRule, TrojanFleet};
+
+fn arb_kind() -> impl Strategy<Value = PacketKind> {
+    prop_oneof![
+        Just(PacketKind::PowerReq),
+        Just(PacketKind::PowerGrant),
+        Just(PacketKind::Data),
+        Just(PacketKind::Meta),
+    ]
+}
+
+fn arb_rule() -> impl Strategy<Value = TamperRule> {
+    prop_oneof![
+        Just(TamperRule::Zero),
+        (0u8..=100).prop_map(TamperRule::ScalePercent),
+        any::<u32>().prop_map(TamperRule::ClampTo),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The triggering condition is exact: a configured, armed Trojan
+    /// modifies a packet iff it is a POWER_REQ, addressed to the stored
+    /// manager, from a non-attacker — and the rewrite only ever shrinks the
+    /// payload.
+    #[test]
+    fn trigger_condition_is_exact(
+        rule in arb_rule(),
+        kind in arb_kind(),
+        src in 0u16..64,
+        dst in 0u16..64,
+        payload in any::<u32>(),
+        manager in 0u16..64,
+        attacker in 0u16..64,
+    ) {
+        let node = NodeId(7);
+        let mut ht = HardwareTrojan::new(node, rule);
+        let mut cfg = Packet::config_command(
+            NodeId(attacker), node, NodeId(manager), ActivationSignal::On);
+        ht.inspect(node, 0, &mut cfg);
+
+        let mut packet = Packet::new(NodeId(src), NodeId(dst), kind, payload);
+        let before = packet;
+        let out: InspectOutcome = ht.inspect(node, 1, &mut packet);
+
+        let should_match = kind == PacketKind::PowerReq
+            && dst == manager
+            && src != attacker;
+        if should_match {
+            // Modified iff the rule actually changes the value.
+            let expected = rule.apply(payload);
+            prop_assert_eq!(packet.payload(), expected);
+            prop_assert_eq!(out.modified, expected != payload);
+            prop_assert!(packet.payload() <= payload, "suppression only shrinks");
+            // Headers never touched.
+            prop_assert_eq!(packet.src(), before.src());
+            prop_assert_eq!(packet.dst(), before.dst());
+            prop_assert_eq!(packet.kind(), before.kind());
+        } else {
+            prop_assert!(!out.modified);
+            prop_assert_eq!(packet, before);
+        }
+    }
+
+    /// An unconfigured or disarmed Trojan never touches anything.
+    #[test]
+    fn inert_states_never_modify(
+        rule in arb_rule(),
+        kind in arb_kind(),
+        src in 0u16..64,
+        dst in 0u16..64,
+        payload in any::<u32>(),
+        disarm in any::<bool>(),
+    ) {
+        let node = NodeId(3);
+        let mut ht = HardwareTrojan::new(node, rule);
+        if disarm {
+            let mut cfg = Packet::config_command(
+                NodeId(9), node, NodeId(0), ActivationSignal::Off);
+            ht.inspect(node, 0, &mut cfg);
+        }
+        let mut packet = Packet::new(NodeId(src), NodeId(dst), kind, payload);
+        let before = packet;
+        prop_assert!(!ht.inspect(node, 1, &mut packet).modified);
+        prop_assert_eq!(packet, before);
+    }
+
+    /// Boost only grows attacker payloads and never touches anyone else's
+    /// beyond the suppression rule.
+    #[test]
+    fn boost_monotonicity(
+        percent in 100u16..1000,
+        payload in any::<u32>(),
+        src in 0u16..64,
+        manager in 0u16..64,
+        attacker in 0u16..64,
+    ) {
+        prop_assume!(src != manager);
+        let node = NodeId(1);
+        let mut ht = HardwareTrojan::new(node, TamperRule::Zero)
+            .with_boost(BoostRule::new(percent));
+        let mut cfg = Packet::config_command(
+            NodeId(attacker), node, NodeId(manager), ActivationSignal::On);
+        ht.inspect(node, 0, &mut cfg);
+        let mut packet = Packet::power_request(NodeId(src), NodeId(manager), payload);
+        ht.inspect(node, 1, &mut packet);
+        if src == attacker {
+            prop_assert!(packet.payload() >= payload, "boost never shrinks");
+        } else {
+            prop_assert_eq!(packet.payload(), 0, "victims still zeroed");
+        }
+    }
+
+    /// Fleet-level schedule gating: with any duty-cycle schedule, packets
+    /// scanned in OFF windows pass unmodified and ON windows behave like
+    /// an always-on fleet.
+    #[test]
+    fn schedule_gating_is_cycle_accurate(
+        on in 0u64..50,
+        period in 1u64..50,
+        cycle in 0u64..1000,
+        payload in 1u32..u32::MAX,
+    ) {
+        let schedule = ActivationSchedule::DutyCycle { on, period };
+        let mut fleet = TrojanFleet::new(&[NodeId(2)], TamperRule::Zero)
+            .with_schedule(schedule);
+        fleet.configure_all(&[NodeId(9)], NodeId(0), true);
+        let mut packet = Packet::power_request(NodeId(5), NodeId(0), payload);
+        let out = fleet.inspect(NodeId(2), cycle, &mut packet);
+        prop_assert_eq!(out.modified, schedule.active_at(cycle));
+        if !schedule.active_at(cycle) {
+            prop_assert_eq!(packet.payload(), payload);
+        } else {
+            prop_assert_eq!(packet.payload(), 0);
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! A full attack campaign on one benchmark mix (the Fig. 5 / Fig. 6 rig),
+//! configurable from the command line.
+//!
+//! Usage: `cargo run --release --example attack_campaign -- [mix1-4] [duty 0..1] [nodes]`
+//!
+//! Runs the clean baseline and the attacked chip, then prints the
+//! per-application performance change Θ and the attack effect Q.
+
+use htpb_core::{run_campaign, AppRole, CampaignConfig, Mix};
+
+fn parse_mix(s: &str) -> Mix {
+    match s {
+        "mix2" | "2" => Mix::Mix2,
+        "mix3" | "3" => Mix::Mix3,
+        "mix4" | "4" => Mix::Mix4,
+        _ => Mix::Mix1,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mix = parse_mix(args.get(1).map(String::as_str).unwrap_or("mix1"));
+    let duty = args
+        .get(2)
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(0.9)
+        .clamp(0.0, 1.0);
+    let nodes: u32 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(64);
+
+    let mut cfg = CampaignConfig::new(mix);
+    cfg.nodes = nodes;
+    println!(
+        "campaign: {} on {} nodes, Trojan duty {:.0}% (≈ target infection rate)",
+        mix.name(),
+        nodes,
+        duty * 100.0
+    );
+    println!("attackers: {:?}", mix.attackers());
+    println!("victims:   {:?}\n", mix.victims());
+
+    let result = run_campaign(&cfg, duty);
+
+    println!("app              role       Θ (attacked/clean)   starved cores");
+    for ((_, role, change), att) in result
+        .outcome
+        .changes
+        .iter()
+        .zip(&result.attacked.apps)
+    {
+        println!(
+            "{:<16} {:<9} {:>10.3}x          {:>6}/{}",
+            att.benchmark.name(),
+            if *role == AppRole::Malicious {
+                "attacker"
+            } else {
+                "victim"
+            },
+            change,
+            att.starved_cores,
+            att.threads
+        );
+    }
+    println!(
+        "\nmeasured infection rate: {:.3}",
+        result.outcome.infection_rate
+    );
+    println!("attack effect Q(Δ,Γ):   {:.3}", result.outcome.q_value);
+    println!(
+        "best attacker gain: {:.2}x, worst victim: {:.2}x",
+        result.outcome.max_attacker_gain(),
+        result.outcome.min_victim_change()
+    );
+    println!(
+        "\nmanager saw {} victim requests this window ({} tampered)",
+        result.attacked.power_requests_delivered, result.attacked.power_requests_modified,
+    );
+}
