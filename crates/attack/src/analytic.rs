@@ -133,12 +133,8 @@ mod tests {
         let m = Mesh2d::new(4, 4).unwrap();
         let manager = NodeId(0);
         // Sources in the same row as a Trojan at node 2 (row 0).
-        let rate = analytic_infection_rate_for_sources(
-            m,
-            manager,
-            &[NodeId(2)],
-            &[NodeId(3), NodeId(15)],
-        );
+        let rate =
+            analytic_infection_rate_for_sources(m, manager, &[NodeId(2)], &[NodeId(3), NodeId(15)]);
         // Node 3's XY path 3->2->1->0 crosses node 2: infected. Node 15's
         // path goes along row 3 to column 0 then up: clean.
         assert!((rate - 0.5).abs() < 1e-12);

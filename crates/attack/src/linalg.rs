@@ -15,16 +15,17 @@ pub(crate) fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
         a.swap(col, pivot);
         b.swap(col, pivot);
         let d = a[col][col];
-        for j in col..n {
-            a[col][j] /= d;
+        for v in a[col][col..n].iter_mut() {
+            *v /= d;
         }
         b[col] /= d;
+        let pivot_row = a[col].clone(); // tiny systems; clearer than split borrows
         for row in 0..n {
             if row != col {
                 let factor = a[row][col];
                 if factor != 0.0 {
-                    for j in col..n {
-                        a[row][j] -= factor * a[col][j];
+                    for (t, p) in a[row][col..n].iter_mut().zip(&pivot_row[col..n]) {
+                        *t -= factor * p;
                     }
                     b[row] -= factor * b[col];
                 }
@@ -57,10 +58,12 @@ pub(crate) fn least_squares(x: &[Vec<f64>], y: &[f64]) -> Option<Vec<f64>> {
         }
     }
     for i in 0..cols {
-        for j in 0..i {
-            xtx[i][j] = xtx[j][i];
+        let (above, rest) = xtx.split_at_mut(i);
+        let row = &mut rest[0];
+        for (j, upper_row) in above.iter().enumerate() {
+            row[j] = upper_row[i]; // mirror the upper triangle
         }
-        xtx[i][i] += 1e-9; // ridge for collinear designs
+        row[i] += 1e-9; // ridge for collinear designs
     }
     solve(xtx, xty)
 }

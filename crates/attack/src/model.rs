@@ -221,8 +221,11 @@ mod tests {
 
     #[test]
     fn linear_model_panics_on_wrong_arity() {
-        let m = LinearModel::fit(&[vec![1.0, 2.0], vec![1.0, 3.0], vec![1.0, 4.0]], &[1.0, 2.0, 3.0])
-            .unwrap();
+        let m = LinearModel::fit(
+            &[vec![1.0, 2.0], vec![1.0, 3.0], vec![1.0, 4.0]],
+            &[1.0, 2.0, 3.0],
+        )
+        .unwrap();
         let result = std::panic::catch_unwind(|| m.predict(&[1.0]));
         assert!(result.is_err());
     }

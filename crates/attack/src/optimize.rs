@@ -73,11 +73,16 @@ impl PlacementOptimizer {
 
     /// Evaluates one explicit placement.
     #[must_use]
-    pub fn evaluate(&self, placement: Placement, description: impl Into<String>) -> PlacementCandidate {
-        let infection =
-            analytic_infection_rate(self.mesh, self.manager, placement.nodes(), None);
+    pub fn evaluate(
+        &self,
+        placement: Placement,
+        description: impl Into<String>,
+    ) -> PlacementCandidate {
+        let infection = analytic_infection_rate(self.mesh, self.manager, placement.nodes(), None);
         let m = placement.len();
-        let rho = placement.distance_rho(self.mesh, self.manager).unwrap_or(0.0);
+        let rho = placement
+            .distance_rho(self.mesh, self.manager)
+            .unwrap_or(0.0);
         let eta = placement.density_eta(self.mesh).unwrap_or(0.0);
         PlacementCandidate {
             placement,
@@ -98,10 +103,7 @@ impl PlacementOptimizer {
     pub fn greedy_cover(&self, m: usize) -> Placement {
         let mesh = self.mesh;
         let manager = self.manager;
-        let sources: Vec<NodeId> = mesh
-            .iter_nodes()
-            .filter(|n| *n != manager)
-            .collect();
+        let sources: Vec<NodeId> = mesh.iter_nodes().filter(|n| *n != manager).collect();
         // Inverted index: for each node, the source indices it covers.
         let mut covers: Vec<Vec<usize>> = vec![Vec::new(); mesh.nodes() as usize];
         for (si, src) in sources.iter().enumerate() {
@@ -138,7 +140,12 @@ impl PlacementOptimizer {
             }
             chosen.push(node);
         }
-        Placement::generate(mesh, 0, &PlacementStrategy::Explicit(chosen), &self.excluded)
+        Placement::generate(
+            mesh,
+            0,
+            &PlacementStrategy::Explicit(chosen),
+            &self.excluded,
+        )
     }
 
     /// Enumerates the candidate family for a fixed Trojan count `m`.
@@ -268,12 +275,7 @@ mod tests {
         let manager = mesh.center();
         let opt = PlacementOptimizer::new(mesh, manager, 3).exclude(&[manager]);
         let placement = opt.greedy_cover(3);
-        let rate = crate::analytic::analytic_infection_rate(
-            mesh,
-            manager,
-            placement.nodes(),
-            None,
-        );
+        let rate = crate::analytic::analytic_infection_rate(mesh, manager, placement.nodes(), None);
         assert!(rate > 0.9, "greedy cover only reached {rate}");
     }
 

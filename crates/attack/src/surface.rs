@@ -137,9 +137,7 @@ mod tests {
         let manager = mesh.center();
         let s = AttackSurface::compute(mesh, manager);
         // A manager neighbour on the column outranks a corner node.
-        let neighbour = mesh
-            .neighbor(manager, htpb_noc::Direction::North)
-            .unwrap();
+        let neighbour = mesh.neighbor(manager, htpb_noc::Direction::North).unwrap();
         assert!(s.criticality(neighbour) > s.criticality(NodeId(63)) * 3.0);
     }
 
@@ -166,10 +164,7 @@ mod tests {
         let mesh = Mesh2d::new(8, 8).unwrap();
         let center = AttackSurface::compute(mesh, mesh.center()).mean_exposure();
         let corner = AttackSurface::compute(mesh, mesh.corner()).mean_exposure();
-        assert!(
-            corner > center * 1.2,
-            "corner {corner} vs center {center}"
-        );
+        assert!(corner > center * 1.2, "corner {corner} vs center {center}");
     }
 
     #[test]

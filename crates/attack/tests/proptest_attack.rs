@@ -6,8 +6,8 @@
 use proptest::prelude::*;
 
 use htpb_attack::{
-    analytic_infection_rate, density_eta, distance_rho, virtual_center, AttackSurface,
-    Placement, PlacementOptimizer, PlacementStrategy,
+    analytic_infection_rate, density_eta, distance_rho, virtual_center, AttackSurface, Placement,
+    PlacementOptimizer, PlacementStrategy,
 };
 use htpb_noc::{Mesh2d, NodeId};
 

@@ -10,7 +10,13 @@ fn bench_checksum(c: &mut Criterion) {
     let p = RequestProtection::new(0xDEAD_BEEF);
     c.bench_function("defense_checksum_verify", |b| {
         let sum = p.checksum(17, 2_515);
-        b.iter(|| p.verify(std::hint::black_box(17), std::hint::black_box(2_515), Some(sum)));
+        b.iter(|| {
+            p.verify(
+                std::hint::black_box(17),
+                std::hint::black_box(2_515),
+                Some(sum),
+            )
+        });
     });
 }
 
@@ -35,7 +41,11 @@ fn bench_localizer_256(c: &mut Criterion) {
         if src == manager {
             continue;
         }
-        if mesh.xy_path(src, manager).iter().any(|n| trojans.contains(n)) {
+        if mesh
+            .xy_path(src, manager)
+            .iter()
+            .any(|n| trojans.contains(n))
+        {
             flagged.push(src);
         } else {
             clean.push(src);

@@ -40,7 +40,10 @@ fn run_panel(denominator: u32, seeds: &[u64]) -> Vec<Series> {
 }
 
 fn main() {
-    banner("Fig. 4", "infection rate vs. HT distribution and system size");
+    banner(
+        "Fig. 4",
+        "infection rate vs. HT distribution and system size",
+    );
     let seeds: Vec<u64> = (0..8).collect();
     for (panel, denominator) in [("(a)", 16u32), ("(b)", 8u32)] {
         let series = timed(&format!("panel {panel} (#HT = N/{denominator})"), || {

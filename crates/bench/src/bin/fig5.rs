@@ -5,22 +5,92 @@
 //! Paper shapes to reproduce: Q grows with the infection rate for every
 //! mix, and mix-4 (three attackers, one victim) peaks highest — 6.89 at
 //! 0.9 infection in the paper.
+//!
+//! Each (mix, duty) campaign is an independent harness job; `--jobs N`
+//! parallelises them, `--no-cache` / `--resume` control `results/.cache/`
+//! reuse.
 
-use htpb_bench::{banner, timed};
-use htpb_core::{attack_sweep, CampaignConfig, Mix, Series};
+use std::path::Path;
+use std::process::ExitCode;
 
-fn main() {
+use htpb_bench::{banner, timed_stage};
+use htpb_core::{Mix, Series};
+use htpb_harness::{
+    cache_for, ensure_outdir, run_jobs, CampaignScale, HarnessArgs, JobOutput, JobSpec, Journal,
+    RunOptions,
+};
+
+fn main() -> ExitCode {
+    let args = match HarnessArgs::parse(std::env::args().skip(1)) {
+        Ok(args) if args.rest.is_empty() => args,
+        Ok(args) => {
+            eprintln!("fig5: unknown flag `{}`", args.rest[0]);
+            return ExitCode::FAILURE;
+        }
+        Err(e) => {
+            eprintln!("fig5: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     banner("Fig. 5", "attack effect Q vs. infection rate per mix");
-    let duties: Vec<f64> = (0..=9).map(|i| f64::from(i) / 10.0).collect();
+    let outdir = Path::new("results");
+    if let Err(e) = ensure_outdir(outdir) {
+        eprintln!("fig5: {e}");
+        return ExitCode::FAILURE;
+    }
+    let journal = match Journal::open(&outdir.join("journal.jsonl")) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("fig5: opening journal: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let opts = RunOptions {
+        workers: args.workers(),
+        cache: match cache_for(outdir, args.use_cache) {
+            Ok(cache) => cache,
+            Err(e) => {
+                eprintln!("fig5: opening cache: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        progress: true,
+    };
+
+    // One job per (mix, duty): a full campaign including its own clean
+    // baseline (deterministic, so equal to the shared-baseline sweep).
+    let duty_tenths: Vec<u32> = (0..=9).collect();
+    let mut jobs = Vec::new();
+    for mix in Mix::ALL {
+        for &duty_tenths in &duty_tenths {
+            jobs.push(JobSpec::SweepPoint {
+                mix,
+                scale: CampaignScale::Paper,
+                duty_tenths,
+            });
+        }
+    }
+    let reports = run_jobs(&jobs, &opts, &journal);
+    if reports.iter().any(|r| r.output.is_err()) {
+        eprintln!("fig5: a job failed; see results/journal.jsonl");
+        return ExitCode::FAILURE;
+    }
+
     let mut peak: (f64, &str) = (0.0, "");
     let mut tables = Vec::new();
+    let mut next = 0usize;
     for mix in Mix::ALL {
-        let cfg = CampaignConfig::new(mix);
-        let points = timed(mix.name(), || attack_sweep(&cfg, &duties));
-        let mut series = Series::new(mix.name());
-        for p in &points {
-            series.push(p.infection, p.q_value);
-        }
+        let series = timed_stage(Some(&journal), &format!("fig5 {}", mix.name()), || {
+            let mut series = Series::new(mix.name());
+            for _ in &duty_tenths {
+                let JobOutput::Sweep { infection, q, .. } = reports[next].expect_output() else {
+                    unreachable!("fig5 jobs produce sweep points")
+                };
+                series.push(*infection, *q);
+                next += 1;
+            }
+            series
+        });
         if let Some((_, q)) = series.points.iter().max_by(|a, b| a.1.total_cmp(&b.1)) {
             if *q > peak.0 {
                 peak = (*q, mix.name());
@@ -43,4 +113,5 @@ fn main() {
         "shape: peak Q = {:.2} on {} (paper: 6.89 on mix-4 at 0.9 infection)",
         peak.0, peak.1
     );
+    ExitCode::SUCCESS
 }

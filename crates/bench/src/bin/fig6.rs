@@ -19,9 +19,7 @@ fn main() {
         println!("\n--- Fig. 6 {panel}: {} ---", mix.name());
 
         // One series per application in the mix.
-        let napps = points
-            .first()
-            .map_or(0, |p| p.outcome.changes.len());
+        let napps = points.first().map_or(0, |p| p.outcome.changes.len());
         let mut series: Vec<Series> = (0..napps)
             .map(|i| {
                 let (_, role, _) = points[0].outcome.changes[i];
@@ -51,10 +49,11 @@ fn main() {
         }
 
         // Call-out near infection 0.5.
-        if let Some(mid) = points
-            .iter()
-            .min_by(|a, b| (a.infection - 0.5).abs().total_cmp(&(b.infection - 0.5).abs()))
-        {
+        if let Some(mid) = points.iter().min_by(|a, b| {
+            (a.infection - 0.5)
+                .abs()
+                .total_cmp(&(b.infection - 0.5).abs())
+        }) {
             println!(
                 "shape @infection {:.2}: best attacker gain {:.2}x, worst victim {:.2}x",
                 mid.infection,

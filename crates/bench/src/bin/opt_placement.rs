@@ -15,7 +15,10 @@ fn main() {
         "optimal (Eq. 10) vs. random HT placement, 16 HTs, 256 nodes",
     );
     let seeds: Vec<u64> = (100..105).collect();
-    println!("| mix   | Q optimal | Q random (mean of {}) | improvement |", seeds.len());
+    println!(
+        "| mix   | Q optimal | Q random (mean of {}) | improvement |",
+        seeds.len()
+    );
     println!("|-------|-----------|------------------------|-------------|");
     let mut improvements = Vec::new();
     for mix in Mix::ALL {

@@ -1,322 +1,91 @@
 //! One-shot reproduction harness: regenerates **every** table and figure of
-//! the paper in sequence and writes each artefact's series to
-//! `results/<artefact>.tsv`, plus a `results/SUMMARY.txt` with the shape
-//! checks. Equivalent to running all the `fig*`/`table_*`/`opt_*`/
-//! `regression` binaries, sharing compiled state and a single process.
+//! the paper and writes each artefact's series to `results/<artefact>.tsv`,
+//! plus a `results/SUMMARY.txt` with the shape checks.
 //!
-//! Usage: `cargo run --release -p htpb-bench --bin repro_all [-- --quick]`
+//! Usage:
+//! `cargo run --release -p htpb-bench --bin repro_all [-- FLAGS]`
 //!
-//! `--quick` shrinks the platforms (64 nodes, fewer seeds) for a fast
-//! smoke-reproduction (~1 min); the default regenerates at paper scale.
+//! - `--quick`      shrink the platforms (64 nodes, fewer seeds) for a fast
+//!   smoke-reproduction (~1 min); default is paper scale;
+//! - `--tiny`       seconds-scale smoke run (integration-test scale);
+//! - `--jobs N`     run experiment points on N worker threads (default: one
+//!   per core; deterministic — parallel output is byte-identical to
+//!   sequential);
+//! - `--no-cache`   recompute every point, ignore `results/.cache/`;
+//! - `--resume`     reuse cached points (the default) — an interrupted run
+//!   picks up where it left off;
+//! - `--sequential` bypass the job pool and run the legacy whole-series
+//!   drivers in order (reference path, no cache).
+//!
+//! Every run appends per-job and per-stage timings to
+//! `results/journal.jsonl`.
 
-use std::fmt::Write as _;
-use std::fs;
 use std::path::Path;
+use std::process::ExitCode;
 
-use htpb_bench::timed;
-use htpb_core::{
-    attack_sweep, fig3_series, fig4_series, optimal_vs_random, regression_dataset, AreaReport,
-    AttackModel, CampaignConfig, ManagerLocation, Mesh2d, Mix, Placement, PlacementStrategy,
-    Series,
+use htpb_harness::{
+    cache_for, run_repro, run_repro_sequential, HarnessArgs, ReproScale, RunOptions,
 };
 
-struct Harness {
-    quick: bool,
-    outdir: &'static str,
-    summary: String,
-}
-
-impl Harness {
-    fn note(&mut self, line: impl AsRef<str>) {
-        println!("{}", line.as_ref());
-        self.summary.push_str(line.as_ref());
-        self.summary.push('\n');
-    }
-
-    fn write_series(&self, name: &str, series: &[Series]) {
-        let mut out = String::new();
-        for s in series {
-            out.push_str(&s.to_table());
+fn main() -> ExitCode {
+    let args = match HarnessArgs::parse(std::env::args().skip(1)) {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("repro_all: {e}");
+            return ExitCode::FAILURE;
         }
-        let path = format!("{}/{name}.tsv", self.outdir);
-        fs::write(&path, out).unwrap_or_else(|e| panic!("writing {path}: {e}"));
-    }
-
-    fn fig3(&mut self) {
-        let nodes_list: &[u32] = if self.quick { &[64] } else { &[64, 512] };
-        let seeds: Vec<u64> = (0..if self.quick { 3 } else { 8 }).collect();
-        for &nodes in nodes_list {
-            let max = if nodes <= 64 { 30 } else { 60 };
-            let counts: Vec<usize> = (0..=max).step_by(5).collect();
-            let (center, corner) = timed(&format!("fig3 ({nodes} nodes)"), || {
-                (
-                    fig3_series(nodes, ManagerLocation::Center, &counts, &seeds),
-                    fig3_series(nodes, ManagerLocation::Corner, &counts, &seeds),
-                )
-            });
-            let corner_wins = center
-                .points
-                .iter()
-                .zip(&corner.points)
-                .skip(2)
-                .all(|((_, c), (_, k))| k >= c);
-            self.note(format!(
-                "fig3/{nodes}: monotonic={} corner>=center(beyond 10 HTs)={}",
-                center.is_monotonic_nondecreasing() && corner.is_monotonic_nondecreasing(),
-                corner_wins
-            ));
-            self.write_series(&format!("fig3_{nodes}"), &[center, corner]);
-        }
-    }
-
-    fn fig4(&mut self) {
-        let sizes: &[u32] = if self.quick {
-            &[64, 128]
-        } else {
-            &[64, 128, 256, 512]
-        };
-        let seeds: Vec<u64> = (0..if self.quick { 3 } else { 8 }).collect();
-        for denom in [16u32, 8] {
-            let series = timed(&format!("fig4 (N/{denom})"), || {
-                vec![
-                    fig4_series(
-                        sizes,
-                        "HTs around the center",
-                        |_| PlacementStrategy::CenterCluster,
-                        denom,
-                        &seeds,
-                    ),
-                    fig4_series(
-                        sizes,
-                        "HTs distributed randomly",
-                        |seed| PlacementStrategy::Random { seed },
-                        denom,
-                        &seeds,
-                    ),
-                    fig4_series(
-                        sizes,
-                        "HTs in one corner",
-                        |_| PlacementStrategy::CornerCluster,
-                        denom,
-                        &seeds,
-                    ),
-                ]
-            });
-            let ordered = series[0]
-                .points
-                .iter()
-                .zip(&series[1].points)
-                .zip(&series[2].points)
-                .all(|(((_, c), (_, r)), (_, k))| c >= r && r >= k);
-            self.note(format!("fig4/N_{denom}: center>=random>=corner={ordered}"));
-            self.write_series(&format!("fig4_n{denom}"), &series);
-        }
-    }
-
-    fn fig5_fig6(&mut self) {
-        let duties: Vec<f64> = (0..=9).map(|i| f64::from(i) / 10.0).collect();
-        let mut peak = (0.0f64, "");
-        for mix in Mix::ALL {
-            let cfg = if self.quick {
-                CampaignConfig::small(mix)
-            } else {
-                CampaignConfig::new(mix)
-            };
-            let points = timed(&format!("fig5/6 {}", mix.name()), || {
-                attack_sweep(&cfg, &duties)
-            });
-            let mut q_series = Series::new(mix.name());
-            let napps = points[0].outcome.changes.len();
-            let mut theta_series: Vec<Series> = (0..napps)
-                .map(|i| Series::new(format!("{} app{i}", mix.name())))
-                .collect();
-            for p in &points {
-                q_series.push(p.infection, p.q_value);
-                for (i, (_, _, c)) in p.outcome.changes.iter().enumerate() {
-                    theta_series[i].push(p.infection, *c);
-                }
-            }
-            if let Some(&(_, q)) = q_series.points.last() {
-                if q > peak.0 {
-                    peak = (q, mix.name());
-                }
-            }
-            self.note(format!(
-                "fig5 {}: Q(0.9)={:.2} monotonic={}",
-                mix.name(),
-                q_series.last_y().unwrap_or(0.0),
-                q_series.is_monotonic_nondecreasing()
-            ));
-            self.write_series(&format!("fig5_{}", mix.name()), &[q_series]);
-            self.write_series(&format!("fig6_{}", mix.name()), &theta_series);
-        }
-        self.note(format!(
-            "fig5 peak Q={:.2} on {} (paper: 6.89 on mix-4)",
-            peak.0, peak.1
-        ));
-    }
-
-    fn table_area(&mut self) {
-        let one = AreaReport::new(1, 1);
-        let chip = AreaReport::new(60, 512);
-        self.note(format!(
-            "III-D: 1 HT = {:.4} um^2 ({:.4}% of router); 60 HTs = {:.3} um^2 / {:.4} uW",
-            one.trojan_area_um2(),
-            one.area_fraction() * 100.0,
-            chip.trojan_area_um2(),
-            chip.trojan_power_uw()
-        ));
-        fs::write(
-            format!("{}/table_area.tsv", self.outdir),
-            format!("{one}\n{chip}\n"),
-        )
-        .expect("write table_area");
-    }
-
-    fn opt(&mut self) {
-        let seeds: Vec<u64> = (100..if self.quick { 102 } else { 105 }).collect();
-        let mut rows = String::new();
-        for mix in Mix::ALL {
-            let cfg = if self.quick {
-                CampaignConfig::small(mix)
-            } else {
-                CampaignConfig::new(mix)
-            };
-            let m = if self.quick { 8 } else { 16 };
-            let cmp = timed(&format!("opt {}", mix.name()), || {
-                optimal_vs_random(&cfg, m, &seeds)
-            });
-            self.note(format!(
-                "V-C {}: Q_opt={:.2} Q_rand={:.2} improvement={:+.0}% (beats random: {})",
-                mix.name(),
-                cmp.q_optimal,
-                cmp.q_random,
-                cmp.improvement * 100.0,
-                cmp.improvement > 0.0
-            ));
-            let _ = writeln!(
-                rows,
-                "{}\t{:.4}\t{:.4}\t{:.4}",
-                mix.name(),
-                cmp.q_optimal,
-                cmp.q_random,
-                cmp.improvement
-            );
-        }
-        fs::write(format!("{}/opt_placement.tsv", self.outdir), rows).expect("write opt");
-    }
-
-    fn regression(&mut self) {
-        let mut base = CampaignConfig::new(Mix::Mix1);
-        base.nodes = if self.quick { 64 } else { 128 };
-        let mesh = Mesh2d::with_nodes(base.nodes).expect("mesh");
-        let manager = ManagerLocation::Center.resolve(mesh);
-        let mut placements = Vec::new();
-        let anchors = [manager, htpb_core::NodeId(mesh.nodes() as u16 / 5), htpb_core::NodeId(0)];
-        for m in [4usize, 8, 16] {
-            for anchor in anchors {
-                placements.push(Placement::generate(
-                    mesh,
-                    m,
-                    &PlacementStrategy::ClusterAround { anchor },
-                    &[manager],
-                ));
-            }
-            placements.push(Placement::generate(
-                mesh,
-                m,
-                &PlacementStrategy::Random { seed: m as u64 },
-                &[manager],
-            ));
-        }
-        let mixes: &[Mix] = if self.quick {
-            &[Mix::Mix1, Mix::Mix3]
-        } else {
-            &Mix::ALL
-        };
-        let samples = timed("regression dataset", || {
-            regression_dataset(&base, mixes, &placements)
-        });
-        let model = AttackModel::fit(&samples).expect("well-conditioned dataset");
-        self.note(format!(
-            "Eq.9: a1(rho)={:+.3} a2(eta)={:+.3} a3(m)={:+.3} R2={:.3} (signs ok: {})",
-            model.a1_rho(),
-            model.a2_eta(),
-            model.a3_m(),
-            model.r2(),
-            model.a1_rho() < 0.0 && model.a3_m() > 0.0
-        ));
-        let mut rows = String::from("# rho\teta\tm\tphiV\tphiA\tQ\n");
-        for s in &samples {
-            let _ = writeln!(
-                rows,
-                "{:.3}\t{:.3}\t{:.0}\t{:.3}\t{:.3}\t{:.4}",
-                s.rho, s.eta, s.m, s.phi_victims, s.phi_attackers, s.q
-            );
-        }
-        fs::write(format!("{}/regression.tsv", self.outdir), rows).expect("write regression");
-    }
-}
-
-fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let outdir = "results";
-    fs::create_dir_all(outdir).expect("create results dir");
-    let mut h = Harness {
-        quick,
-        outdir,
-        summary: String::new(),
     };
-    h.note(format!(
-        "== full reproduction run ({}) ==",
-        if quick { "quick" } else { "paper scale" }
-    ));
-    h.fig3();
-    h.fig4();
-    h.fig5_fig6();
-    h.table_area();
-    h.opt();
-    h.regression();
-    write_gnuplot(outdir);
-    h.note("== done; series written to results/*.tsv (plot with gnuplot results/plot.gp) ==");
-    fs::write(Path::new(outdir).join("SUMMARY.txt"), &h.summary).expect("write summary");
-}
+    let mut scale = ReproScale::Paper;
+    let mut sequential = false;
+    for arg in &args.rest {
+        match arg.as_str() {
+            "--quick" => scale = ReproScale::Quick,
+            "--tiny" => scale = ReproScale::Tiny,
+            "--sequential" => sequential = true,
+            other => {
+                eprintln!("repro_all: unknown flag `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
 
-/// Emits a gnuplot script that renders every regenerated figure from the
-/// TSV series into `results/figures.png`.
-fn write_gnuplot(outdir: &str) {
-    let script = r#"# Render the reproduced figures: gnuplot results/plot.gp
-set terminal pngcairo size 1400,1000
-set output 'results/figures.png'
-set multiplot layout 2,3 title 'SOCC 2018 HT power-budget attack - reproduction'
-set key left top
-set style data linespoints
-
-set title 'Fig. 3: infection vs #HTs (64 nodes)'
-set xlabel '# hardware Trojans'
-set ylabel 'infection rate'
-plot 'results/fig3_64.tsv' index 0 title 'manager center',      'results/fig3_64.tsv' index 1 title 'manager corner'
-
-set title 'Fig. 3: infection vs #HTs (512 nodes)'
-plot 'results/fig3_512.tsv' index 0 title 'manager center',      'results/fig3_512.tsv' index 1 title 'manager corner'
-
-set title 'Fig. 4: infection vs size (#HT = N/8)'
-set xlabel 'system size (nodes)'
-plot 'results/fig4_n8.tsv' index 0 title 'center cluster',      'results/fig4_n8.tsv' index 1 title 'random',      'results/fig4_n8.tsv' index 2 title 'corner cluster'
-
-set title 'Fig. 5: attack effect Q vs infection'
-set xlabel 'infection rate'
-set ylabel 'Q'
-plot 'results/fig5_mix-1.tsv' title 'mix-1',      'results/fig5_mix-2.tsv' title 'mix-2',      'results/fig5_mix-3.tsv' title 'mix-3',      'results/fig5_mix-4.tsv' title 'mix-4'
-
-set title 'Fig. 6: per-app change (mix-1)'
-set ylabel 'theta change'
-plot 'results/fig6_mix-1.tsv' index 0 title 'attacker 0',      'results/fig6_mix-1.tsv' index 1 title 'attacker 1',      'results/fig6_mix-1.tsv' index 2 title 'victim 0',      'results/fig6_mix-1.tsv' index 3 title 'victim 1'
-
-set title 'Fig. 6: per-app change (mix-4)'
-plot 'results/fig6_mix-4.tsv' index 0 title 'attacker 0',      'results/fig6_mix-4.tsv' index 1 title 'attacker 1',      'results/fig6_mix-4.tsv' index 2 title 'attacker 2',      'results/fig6_mix-4.tsv' index 3 title 'victim 0'
-
-unset multiplot
-"#;
-    fs::write(Path::new(outdir).join("plot.gp"), script).expect("write plot.gp");
+    let outdir = Path::new("results");
+    let result = if sequential {
+        run_repro_sequential(scale, outdir)
+    } else {
+        let opts = RunOptions {
+            workers: args.workers(),
+            cache: match cache_for(outdir, args.use_cache) {
+                Ok(cache) => cache,
+                Err(e) => {
+                    eprintln!("repro_all: opening cache: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            progress: true,
+        };
+        run_repro(scale, outdir, &opts)
+    };
+    match result {
+        Ok(outcome) if outcome.failed == 0 => {
+            if outcome.jobs > 0 {
+                eprintln!(
+                    "[harness] {} jobs, {} from cache",
+                    outcome.jobs, outcome.cache_hits
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        Ok(outcome) => {
+            eprintln!(
+                "repro_all: {} job(s) failed; see results/journal.jsonl",
+                outcome.failed
+            );
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("repro_all: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }

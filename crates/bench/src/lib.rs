@@ -12,6 +12,8 @@
 
 use std::time::Instant;
 
+use htpb_harness::Journal;
+
 /// Prints a standard header for a figure binary.
 pub fn banner(figure: &str, what: &str) {
     println!("==========================================================");
@@ -22,9 +24,20 @@ pub fn banner(figure: &str, what: &str) {
 
 /// Runs `f`, printing how long the regeneration took.
 pub fn timed<T>(label: &str, f: impl FnOnce() -> T) -> T {
+    timed_stage(None, label, f)
+}
+
+/// Like [`timed`], but the stage's wall time also lands in the
+/// machine-readable run journal (as a `stage` event), so per-stage
+/// timings can be tracked across runs.
+pub fn timed_stage<T>(journal: Option<&Journal>, label: &str, f: impl FnOnce() -> T) -> T {
     let start = Instant::now();
     let out = f();
-    println!("[{label}: {:.1}s]", start.elapsed().as_secs_f64());
+    let secs = start.elapsed().as_secs_f64();
+    println!("[{label}: {secs:.1}s]");
+    if let Some(journal) = journal {
+        journal.stage(label, secs);
+    }
     out
 }
 
@@ -48,5 +61,18 @@ mod tests {
     #[test]
     fn timed_passes_value_through() {
         assert_eq!(timed("t", || 42), 42);
+    }
+
+    #[test]
+    fn timed_stage_lands_in_journal() {
+        let path =
+            std::env::temp_dir().join(format!("htpb-bench-journal-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let journal = Journal::open(&path).unwrap();
+        assert_eq!(timed_stage(Some(&journal), "stage-x", || 7), 7);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"event\":\"stage\""), "{text}");
+        assert!(text.contains("\"stage-x\""), "{text}");
+        let _ = std::fs::remove_file(&path);
     }
 }

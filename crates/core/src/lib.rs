@@ -38,7 +38,8 @@ pub mod platform;
 mod series;
 
 pub use experiments::{
-    attack_sweep, fig3_series, fig4_series, optimal_vs_random, regression_dataset, run_campaign,
+    attack_sweep, attack_sweep_point, fig3_label, fig3_point, fig3_series, fig4_point, fig4_series,
+    optimal_vs_random, regression_dataset, regression_placements, run_campaign,
     run_campaign_with_baseline, run_clean_baseline, AttackSweepPoint, CampaignConfig,
     CampaignResult, InfectionExperiment, ManagerLocation, OptComparison,
 };
@@ -68,6 +69,6 @@ pub use htpb_power::{
     PowerRequest,
 };
 pub use htpb_trojan::{
-    ActivationSchedule, AreaReport, BoostRule, HardwareTrojan, TamperRule, TrojanFleet,
-    TrojanMode, HT_AREA_UM2, HT_POWER_UW, ROUTER_AREA_UM2, ROUTER_POWER_UW,
+    ActivationSchedule, AreaReport, BoostRule, HardwareTrojan, TamperRule, TrojanFleet, TrojanMode,
+    HT_AREA_UM2, HT_POWER_UW, ROUTER_AREA_UM2, ROUTER_POWER_UW,
 };

@@ -4,8 +4,8 @@
 
 use htpb_attack::{sensitivity_phi, Mix};
 use htpb_manycore::{Benchmark, SystemConfig};
-use htpb_power::{DvfsTable, PowerModel};
 use htpb_noc::RouterConfig;
+use htpb_power::{DvfsTable, PowerModel};
 
 /// Renders the Table-I-equivalent platform configuration.
 #[must_use]
@@ -31,10 +31,10 @@ pub fn describe_platform(config: &SystemConfig) -> String {
         "  power budgeting      : {} allocator, epoch {} cycles, budget {}\n",
         config.allocator.name(),
         config.epoch_cycles,
-        config
-            .budget_mw
-            .map_or_else(|| format!("{:.0}% of honest demand", config.budget_fraction * 100.0),
-                         |mw| format!("{mw:.0} mW")),
+        config.budget_mw.map_or_else(
+            || format!("{:.0}% of honest demand", config.budget_fraction * 100.0),
+            |mw| format!("{mw:.0} mW")
+        ),
     ));
     s.push_str(&format!(
         "  NoC                  : {:?} routing, {} VCs x {}-flit buffers, 2-cycle routers, 1-cycle links\n",
@@ -130,7 +130,9 @@ mod tests {
     #[test]
     fn mix_table_matches_table_iii() {
         let s = describe_mixes();
-        assert!(s.contains("mix-4: attackers [barnes, streamcluster, freqmine], victims [raytrace]"));
+        assert!(
+            s.contains("mix-4: attackers [barnes, streamcluster, freqmine], victims [raytrace]")
+        );
         assert!(s.contains("mix-3: attackers [canneal]"));
     }
 }

@@ -90,7 +90,9 @@ impl TrojanLocalizer {
                     *counts.entry(*n).or_default() += 1;
                 }
             }
-            let Some((&best, _)) = counts.iter().max_by_key(|(n, c)| (**c, std::cmp::Reverse(n.0)))
+            let Some((&best, _)) = counts
+                .iter()
+                .max_by_key(|(n, c)| (**c, std::cmp::Reverse(n.0)))
             else {
                 break;
             };

@@ -82,11 +82,7 @@ impl DefenseSuite {
     pub fn verdict(&self) -> SuiteVerdict {
         let ewma_flagged = self.detector.flagged_cores();
         let probe_flagged = self.campaign.tampered_sources();
-        let mut flagged: Vec<NodeId> = ewma_flagged
-            .iter()
-            .chain(&probe_flagged)
-            .copied()
-            .collect();
+        let mut flagged: Vec<NodeId> = ewma_flagged.iter().chain(&probe_flagged).copied().collect();
         flagged.sort_unstable();
         flagged.dedup();
         // Clean evidence: sources clean under BOTH mechanisms.
@@ -120,7 +116,10 @@ mod tests {
     fn suite() -> (Mesh2d, DefenseSuite) {
         let mesh = Mesh2d::new(8, 8).unwrap();
         let manager = mesh.center();
-        (mesh, DefenseSuite::new(mesh, manager, ProbePlan::default_band(3)))
+        (
+            mesh,
+            DefenseSuite::new(mesh, manager, ProbePlan::default_band(3)),
+        )
     }
 
     #[test]

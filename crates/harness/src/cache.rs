@@ -1,0 +1,128 @@
+//! Content-addressed on-disk result cache.
+//!
+//! Layout: one JSON file per completed job under `<outdir>/.cache/`, named
+//! `<kind>-<key>.json` where `key` is the 16-hex-digit FNV-1a hash of the
+//! job's canonical id string plus [`SCHEMA_VERSION`]. Because the id
+//! encodes every result-affecting parameter, a cache hit is always safe to
+//! reuse; changing any parameter (or bumping the schema) changes the key.
+//!
+//! Writes go through a temp file + rename so an interrupted run never
+//! leaves a truncated entry — a killed `repro_all` resumes by rerunning
+//! only the jobs whose files are missing. Corrupt or unreadable entries
+//! are treated as misses and silently recomputed.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::hash::fnv1a64_parts;
+use crate::job::{JobOutput, JobSpec};
+use crate::json;
+
+/// Bump when the meaning or encoding of any cached result changes; every
+/// existing entry then misses and is recomputed.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Handle to a cache directory.
+#[derive(Debug, Clone)]
+pub struct ResultCache {
+    dir: PathBuf,
+}
+
+impl ResultCache {
+    /// Opens (creating if needed) the cache directory.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<ResultCache> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(ResultCache { dir })
+    }
+
+    /// The conventional cache location for an output directory:
+    /// `<outdir>/.cache`.
+    pub fn for_outdir(outdir: &Path) -> io::Result<ResultCache> {
+        ResultCache::open(outdir.join(".cache"))
+    }
+
+    /// The cache key of a spec: FNV-1a over (schema version, job id).
+    #[must_use]
+    pub fn key(spec: &JobSpec) -> u64 {
+        fnv1a64_parts(&[&SCHEMA_VERSION.to_string(), &spec.id()])
+    }
+
+    /// The on-disk path an entry for `spec` would use.
+    #[must_use]
+    pub fn entry_path(&self, spec: &JobSpec) -> PathBuf {
+        self.dir
+            .join(format!("{}-{:016x}.json", spec.kind(), Self::key(spec)))
+    }
+
+    /// Loads a cached result. `None` on miss *or* on a corrupt entry.
+    #[must_use]
+    pub fn load(&self, spec: &JobSpec) -> Option<JobOutput> {
+        let text = fs::read_to_string(self.entry_path(spec)).ok()?;
+        let value = json::parse(&text).ok()?;
+        // The stored id must match, both as a hash-collision guard and so
+        // a hand-edited file for the wrong job can't be served.
+        if value.get("id")?.as_str()? != spec.id() {
+            return None;
+        }
+        JobOutput::from_json(value.get("output")?)
+    }
+
+    /// Stores a result atomically (temp file + rename).
+    pub fn store(&self, spec: &JobSpec, output: &JobOutput) -> io::Result<()> {
+        let body = json::Value::obj(vec![
+            ("schema", json::Value::Int(i64::from(SCHEMA_VERSION))),
+            ("id", json::Value::Str(spec.id())),
+            ("output", output.to_json()),
+        ]);
+        let path = self.entry_path(spec);
+        let tmp = path.with_extension("json.tmp");
+        fs::write(&tmp, body.render() + "\n")?;
+        fs::rename(&tmp, &path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(ht_count: usize) -> JobSpec {
+        JobSpec::Fig3Point {
+            nodes: 64,
+            corner: false,
+            ht_count,
+            seeds: vec![0, 1, 2],
+        }
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("htpb-cache-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn key_is_stable_and_parameter_sensitive() {
+        assert_eq!(ResultCache::key(&spec(5)), ResultCache::key(&spec(5)));
+        assert_ne!(ResultCache::key(&spec(5)), ResultCache::key(&spec(6)));
+    }
+
+    #[test]
+    fn store_load_roundtrip_and_miss_on_corruption() {
+        let dir = tmpdir("roundtrip");
+        let cache = ResultCache::open(&dir).unwrap();
+        let s = spec(5);
+        assert_eq!(cache.load(&s), None);
+        let out = JobOutput::Rate(0.25);
+        cache.store(&s, &out).unwrap();
+        assert_eq!(cache.load(&s), Some(out));
+        // A different spec misses even with the directory populated.
+        assert_eq!(cache.load(&spec(6)), None);
+        // Corruption degrades to a miss, not an error.
+        fs::write(cache.entry_path(&s), "{not json").unwrap();
+        assert_eq!(cache.load(&s), None);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,104 @@
+//! Shared command-line flag parsing for the harness-driven binaries.
+//!
+//! Every binary that runs campaigns through the pool accepts the same
+//! trio of flags:
+//!
+//! - `--jobs N` — worker threads (default: one per core; `0` also means
+//!   one per core);
+//! - `--no-cache` — recompute everything, don't read or write the cache;
+//! - `--resume` — explicitly request cache reuse (the default; overrides
+//!   an earlier `--no-cache`).
+//!
+//! Binary-specific flags are returned untouched in [`HarnessArgs::rest`].
+
+use crate::runner::RunOptions;
+
+/// Parsed harness flags plus the arguments the binary handles itself.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HarnessArgs {
+    /// Worker threads requested (`None` = one per core).
+    pub jobs: Option<usize>,
+    /// Whether the cache is enabled.
+    pub use_cache: bool,
+    /// Arguments not consumed by the harness.
+    pub rest: Vec<String>,
+}
+
+impl HarnessArgs {
+    /// Parses harness flags out of an argument iterator (without the
+    /// program name). `Err` carries a usage message.
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Result<HarnessArgs, String> {
+        let mut parsed = HarnessArgs {
+            jobs: None,
+            use_cache: true,
+            rest: Vec::new(),
+        };
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--jobs" => {
+                    let n = it
+                        .next()
+                        .ok_or_else(|| "--jobs requires a number".to_string())?;
+                    let n: usize = n
+                        .parse()
+                        .map_err(|_| format!("--jobs: invalid number `{n}`"))?;
+                    parsed.jobs = Some(n);
+                }
+                _ if arg.starts_with("--jobs=") => {
+                    let n = &arg["--jobs=".len()..];
+                    parsed.jobs = Some(
+                        n.parse()
+                            .map_err(|_| format!("--jobs: invalid number `{n}`"))?,
+                    );
+                }
+                "--no-cache" => parsed.use_cache = false,
+                "--resume" => parsed.use_cache = true,
+                _ => parsed.rest.push(arg),
+            }
+        }
+        Ok(parsed)
+    }
+
+    /// The worker count this invocation resolves to.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        match self.jobs {
+            Some(0) | None => RunOptions::default_workers(),
+            Some(n) => n,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> HarnessArgs {
+        HarnessArgs::parse(args.iter().map(ToString::to_string)).unwrap()
+    }
+
+    #[test]
+    fn defaults_and_flags() {
+        let a = parse(&[]);
+        assert_eq!(a.jobs, None);
+        assert!(a.use_cache);
+        assert!(a.rest.is_empty());
+
+        let a = parse(&["--quick", "--jobs", "4", "--no-cache"]);
+        assert_eq!(a.jobs, Some(4));
+        assert!(!a.use_cache);
+        assert_eq!(a.rest, vec!["--quick".to_string()]);
+        assert_eq!(a.workers(), 4);
+
+        let a = parse(&["--jobs=2", "--no-cache", "--resume"]);
+        assert_eq!(a.jobs, Some(2));
+        assert!(a.use_cache, "--resume re-enables the cache");
+    }
+
+    #[test]
+    fn rejects_bad_jobs() {
+        assert!(HarnessArgs::parse(vec!["--jobs".to_string()]).is_err());
+        assert!(HarnessArgs::parse(vec!["--jobs".to_string(), "x".to_string()]).is_err());
+    }
+}

@@ -1,0 +1,523 @@
+//! The job abstraction: one schedulable unit of experiment work.
+//!
+//! A [`JobSpec`] captures *everything* that determines a result — experiment
+//! kind, platform parameters and RNG seeds — so that executing the same spec
+//! twice (on any worker, in any order) produces the same [`JobOutput`] bit
+//! for bit. That determinism is what makes both the parallel pool and the
+//! on-disk cache sound: parallel campaigns reassemble the exact sequential
+//! artefacts, and cached results never go stale except through a schema
+//! bump.
+
+use htpb_attack::{AttackSample, Mix, PlacementStrategy};
+use htpb_core::experiments::{
+    attack_sweep_point, fig3_point, fig4_point, optimal_vs_random, regression_dataset,
+    regression_placements, CampaignConfig, ManagerLocation,
+};
+
+use crate::json::Value;
+
+/// Which [`CampaignConfig`] constructor a campaign-based job uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CampaignScale {
+    /// [`CampaignConfig::tiny`] — seconds-scale, for tests.
+    Tiny,
+    /// [`CampaignConfig::small`] — the `--quick` reproduction scale.
+    Small,
+    /// [`CampaignConfig::new`] — paper scale.
+    Paper,
+}
+
+impl CampaignScale {
+    /// Builds the campaign configuration for `mix` at this scale.
+    #[must_use]
+    pub fn config(self, mix: Mix) -> CampaignConfig {
+        match self {
+            CampaignScale::Tiny => CampaignConfig::tiny(mix),
+            CampaignScale::Small => CampaignConfig::small(mix),
+            CampaignScale::Paper => CampaignConfig::new(mix),
+        }
+    }
+
+    /// Stable tag used in job ids (and therefore cache keys).
+    #[must_use]
+    pub fn tag(self) -> &'static str {
+        match self {
+            CampaignScale::Tiny => "tiny",
+            CampaignScale::Small => "small",
+            CampaignScale::Paper => "paper",
+        }
+    }
+}
+
+/// The Fig. 4 placement strategies, as a closed enum so job ids are stable
+/// strings rather than opaque closures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fig4Strategy {
+    /// Trojans clustered around the chip center.
+    Center,
+    /// Trojans placed uniformly at random (seed-averaged).
+    Random,
+    /// Trojans clustered in one corner.
+    Corner,
+}
+
+impl Fig4Strategy {
+    /// The legend label the sequential driver uses for this curve.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Fig4Strategy::Center => "HTs around the center",
+            Fig4Strategy::Random => "HTs distributed randomly",
+            Fig4Strategy::Corner => "HTs in one corner",
+        }
+    }
+
+    /// Stable tag used in job ids.
+    #[must_use]
+    pub fn tag(self) -> &'static str {
+        match self {
+            Fig4Strategy::Center => "center",
+            Fig4Strategy::Random => "random",
+            Fig4Strategy::Corner => "corner",
+        }
+    }
+
+    /// The strategy constructor [`fig4_point`] expects.
+    pub fn strategy_for(self) -> impl Fn(u64) -> PlacementStrategy {
+        move |seed| match self {
+            Fig4Strategy::Center => PlacementStrategy::CenterCluster,
+            Fig4Strategy::Random => PlacementStrategy::Random { seed },
+            Fig4Strategy::Corner => PlacementStrategy::CornerCluster,
+        }
+    }
+}
+
+/// One independently executable experiment point. Each variant wraps one of
+/// the `htpb_core::experiments` drivers without changing its semantics.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobSpec {
+    /// One point of a Fig. 3 curve: seed-averaged infection rate for
+    /// `ht_count` random Trojans.
+    Fig3Point {
+        /// Chip size in nodes.
+        nodes: u32,
+        /// Manager at a corner (`true`) or the center (`false`).
+        corner: bool,
+        /// Number of Trojans.
+        ht_count: usize,
+        /// Placement seeds to average over.
+        seeds: Vec<u64>,
+    },
+    /// One point of a Fig. 4 curve: infection rate at a system size for a
+    /// placement strategy, with `nodes / denominator` Trojans.
+    Fig4Point {
+        /// Chip size in nodes.
+        nodes: u32,
+        /// Placement strategy of the curve.
+        strategy: Fig4Strategy,
+        /// Trojan count divisor (paper: 16 and 8).
+        denominator: u32,
+        /// Seeds for the random strategy (ignored by deterministic ones).
+        seeds: Vec<u64>,
+    },
+    /// One point of the Fig. 5 / Fig. 6 sweep: a full attack campaign at
+    /// one Trojan duty cycle (including its own clean baseline, which is
+    /// deterministic in the configuration).
+    SweepPoint {
+        /// Benchmark mix.
+        mix: Mix,
+        /// Campaign scale.
+        scale: CampaignScale,
+        /// Duty cycle in tenths (0..=9), kept integral so the id is exact.
+        duty_tenths: u32,
+    },
+    /// Section V-C: optimal placement vs. the random average.
+    OptCompare {
+        /// Benchmark mix.
+        mix: Mix,
+        /// Campaign scale.
+        scale: CampaignScale,
+        /// Trojan budget for the optimizer.
+        m: usize,
+        /// Seeds for the random baseline placements.
+        seeds: Vec<u64>,
+    },
+    /// Eq. 9 regression samples for one mix over the canonical placement
+    /// list ([`regression_placements`]).
+    RegressionMix {
+        /// Benchmark mix.
+        mix: Mix,
+        /// Campaign scale for the base configuration.
+        scale: CampaignScale,
+        /// Chip size in nodes (overrides the scale's default).
+        nodes: u32,
+    },
+}
+
+impl JobSpec {
+    /// Short kind tag for journal entries and cache file names.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            JobSpec::Fig3Point { .. } => "fig3",
+            JobSpec::Fig4Point { .. } => "fig4",
+            JobSpec::SweepPoint { .. } => "sweep",
+            JobSpec::OptCompare { .. } => "opt",
+            JobSpec::RegressionMix { .. } => "regression",
+        }
+    }
+
+    /// Stable, human-readable id encoding *every* parameter that affects
+    /// the result. Two specs have equal ids iff they are the same job, so
+    /// the cache key is a hash of this string (plus the schema version).
+    #[must_use]
+    pub fn id(&self) -> String {
+        match self {
+            JobSpec::Fig3Point {
+                nodes,
+                corner,
+                ht_count,
+                seeds,
+            } => format!(
+                "fig3-n{nodes}-{}-ht{ht_count}-s{}",
+                if *corner { "corner" } else { "center" },
+                seed_tag(seeds)
+            ),
+            JobSpec::Fig4Point {
+                nodes,
+                strategy,
+                denominator,
+                seeds,
+            } => format!(
+                "fig4-n{nodes}-d{denominator}-{}-s{}",
+                strategy.tag(),
+                seed_tag(seeds)
+            ),
+            JobSpec::SweepPoint {
+                mix,
+                scale,
+                duty_tenths,
+            } => format!("sweep-{}-{}-d{duty_tenths}", mix.name(), scale.tag()),
+            JobSpec::OptCompare {
+                mix,
+                scale,
+                m,
+                seeds,
+            } => format!(
+                "opt-{}-{}-m{m}-s{}",
+                mix.name(),
+                scale.tag(),
+                seed_tag(seeds)
+            ),
+            JobSpec::RegressionMix { mix, scale, nodes } => {
+                format!("reg-{}-{}-n{nodes}", mix.name(), scale.tag())
+            }
+        }
+    }
+
+    /// Runs the job. Deterministic: all randomness derives from seeds that
+    /// are part of the spec, so the output is a pure function of `self`.
+    #[must_use]
+    pub fn execute(&self) -> JobOutput {
+        match self {
+            JobSpec::Fig3Point {
+                nodes,
+                corner,
+                ht_count,
+                seeds,
+            } => {
+                let manager = if *corner {
+                    ManagerLocation::Corner
+                } else {
+                    ManagerLocation::Center
+                };
+                JobOutput::Rate(fig3_point(*nodes, manager, *ht_count, seeds))
+            }
+            JobSpec::Fig4Point {
+                nodes,
+                strategy,
+                denominator,
+                seeds,
+            } => JobOutput::Rate(fig4_point(
+                *nodes,
+                &strategy.strategy_for(),
+                *denominator,
+                seeds,
+            )),
+            JobSpec::SweepPoint {
+                mix,
+                scale,
+                duty_tenths,
+            } => {
+                let cfg = scale.config(*mix);
+                // Same expression as the sequential sweep (`i / 10.0`), so
+                // the f64 duty is bit-identical.
+                let duty = f64::from(*duty_tenths) / 10.0;
+                let p = attack_sweep_point(&cfg, duty);
+                JobOutput::Sweep {
+                    duty: p.duty,
+                    infection: p.infection,
+                    q: p.q_value,
+                    changes: p.outcome.changes.iter().map(|(_, _, c)| *c).collect(),
+                }
+            }
+            JobSpec::OptCompare {
+                mix,
+                scale,
+                m,
+                seeds,
+            } => {
+                let cmp = optimal_vs_random(&scale.config(*mix), *m, seeds);
+                JobOutput::Opt {
+                    q_optimal: cmp.q_optimal,
+                    q_random: cmp.q_random,
+                    improvement: cmp.improvement,
+                }
+            }
+            JobSpec::RegressionMix { mix, scale, nodes } => {
+                let mut base = scale.config(Mix::Mix1);
+                base.nodes = *nodes;
+                let mesh = base.mesh();
+                let manager = base.manager.resolve(mesh);
+                let placements = regression_placements(mesh, manager);
+                JobOutput::Samples(regression_dataset(&base, &[*mix], &placements))
+            }
+        }
+    }
+}
+
+fn seed_tag(seeds: &[u64]) -> String {
+    let mut s = String::new();
+    for (i, seed) in seeds.iter().enumerate() {
+        if i > 0 {
+            s.push('.');
+        }
+        s.push_str(&seed.to_string());
+    }
+    s
+}
+
+/// The typed result of a [`JobSpec`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobOutput {
+    /// A single infection rate (Fig. 3 / Fig. 4 points).
+    Rate(f64),
+    /// One sweep point (Fig. 5 / Fig. 6): duty, measured infection, Q and
+    /// the per-app performance changes in application order.
+    Sweep {
+        /// Trojan duty cycle.
+        duty: f64,
+        /// Measured infection rate.
+        infection: f64,
+        /// Attack effect Q.
+        q: f64,
+        /// Per-app performance change Θ'/Θ, in `outcome.changes` order.
+        changes: Vec<f64>,
+    },
+    /// Section V-C comparison.
+    Opt {
+        /// Q with the optimized placement.
+        q_optimal: f64,
+        /// Seed-averaged Q with random placements.
+        q_random: f64,
+        /// `q_optimal / q_random - 1`.
+        improvement: f64,
+    },
+    /// Eq. 9 regression samples (one mix, canonical placements, in order).
+    Samples(Vec<AttackSample>),
+}
+
+impl JobOutput {
+    /// Encodes the output as a JSON value (the cache file body).
+    #[must_use]
+    pub fn to_json(&self) -> Value {
+        match self {
+            JobOutput::Rate(x) => Value::obj(vec![
+                ("kind", Value::Str("rate".into())),
+                ("value", Value::Num(*x)),
+            ]),
+            JobOutput::Sweep {
+                duty,
+                infection,
+                q,
+                changes,
+            } => Value::obj(vec![
+                ("kind", Value::Str("sweep".into())),
+                ("duty", Value::Num(*duty)),
+                ("infection", Value::Num(*infection)),
+                ("q", Value::Num(*q)),
+                (
+                    "changes",
+                    Value::Arr(changes.iter().map(|c| Value::Num(*c)).collect()),
+                ),
+            ]),
+            JobOutput::Opt {
+                q_optimal,
+                q_random,
+                improvement,
+            } => Value::obj(vec![
+                ("kind", Value::Str("opt".into())),
+                ("q_optimal", Value::Num(*q_optimal)),
+                ("q_random", Value::Num(*q_random)),
+                ("improvement", Value::Num(*improvement)),
+            ]),
+            JobOutput::Samples(samples) => Value::obj(vec![
+                ("kind", Value::Str("samples".into())),
+                (
+                    "rows",
+                    Value::Arr(
+                        samples
+                            .iter()
+                            .map(|s| {
+                                Value::Arr(vec![
+                                    Value::Num(s.rho),
+                                    Value::Num(s.eta),
+                                    Value::Num(s.m),
+                                    Value::Num(s.phi_victims),
+                                    Value::Num(s.phi_attackers),
+                                    Value::Num(s.q),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+        }
+    }
+
+    /// Decodes a cache file body. `None` on any structural mismatch (the
+    /// cache then treats the entry as a miss).
+    #[must_use]
+    pub fn from_json(v: &Value) -> Option<JobOutput> {
+        match v.get("kind")?.as_str()? {
+            "rate" => Some(JobOutput::Rate(v.get("value")?.as_f64()?)),
+            "sweep" => {
+                let changes = v
+                    .get("changes")?
+                    .as_arr()?
+                    .iter()
+                    .map(Value::as_f64)
+                    .collect::<Option<Vec<f64>>>()?;
+                Some(JobOutput::Sweep {
+                    duty: v.get("duty")?.as_f64()?,
+                    infection: v.get("infection")?.as_f64()?,
+                    q: v.get("q")?.as_f64()?,
+                    changes,
+                })
+            }
+            "opt" => Some(JobOutput::Opt {
+                q_optimal: v.get("q_optimal")?.as_f64()?,
+                q_random: v.get("q_random")?.as_f64()?,
+                improvement: v.get("improvement")?.as_f64()?,
+            }),
+            "samples" => {
+                let rows = v.get("rows")?.as_arr()?;
+                let mut samples = Vec::with_capacity(rows.len());
+                for row in rows {
+                    let cols = row.as_arr()?;
+                    if cols.len() != 6 {
+                        return None;
+                    }
+                    samples.push(AttackSample {
+                        rho: cols[0].as_f64()?,
+                        eta: cols[1].as_f64()?,
+                        m: cols[2].as_f64()?,
+                        phi_victims: cols[3].as_f64()?,
+                        phi_attackers: cols[4].as_f64()?,
+                        q: cols[5].as_f64()?,
+                    });
+                }
+                Some(JobOutput::Samples(samples))
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_encode_every_parameter() {
+        let base = JobSpec::Fig3Point {
+            nodes: 64,
+            corner: false,
+            ht_count: 10,
+            seeds: vec![0, 1],
+        };
+        assert_eq!(base.id(), "fig3-n64-center-ht10-s0.1");
+        let variants = [
+            JobSpec::Fig3Point {
+                nodes: 128,
+                corner: false,
+                ht_count: 10,
+                seeds: vec![0, 1],
+            },
+            JobSpec::Fig3Point {
+                nodes: 64,
+                corner: true,
+                ht_count: 10,
+                seeds: vec![0, 1],
+            },
+            JobSpec::Fig3Point {
+                nodes: 64,
+                corner: false,
+                ht_count: 11,
+                seeds: vec![0, 1],
+            },
+            JobSpec::Fig3Point {
+                nodes: 64,
+                corner: false,
+                ht_count: 10,
+                seeds: vec![0, 2],
+            },
+        ];
+        for v in &variants {
+            assert_ne!(v.id(), base.id(), "{v:?}");
+        }
+    }
+
+    #[test]
+    fn output_json_roundtrip() {
+        let outputs = [
+            JobOutput::Rate(0.1234),
+            JobOutput::Sweep {
+                duty: 0.3,
+                infection: 0.28,
+                q: 2.5,
+                changes: vec![1.2, 0.6],
+            },
+            JobOutput::Opt {
+                q_optimal: 3.0,
+                q_random: 2.0,
+                improvement: 0.5,
+            },
+            JobOutput::Samples(vec![AttackSample {
+                rho: 1.0,
+                eta: 2.0,
+                m: 8.0,
+                phi_victims: 0.4,
+                phi_attackers: 0.6,
+                q: 3.3,
+            }]),
+        ];
+        for out in &outputs {
+            let text = out.to_json().render();
+            let back = JobOutput::from_json(&crate::json::parse(&text).unwrap()).unwrap();
+            assert_eq!(&back, out, "{text}");
+        }
+    }
+
+    #[test]
+    fn fig3_job_matches_driver() {
+        let spec = JobSpec::Fig3Point {
+            nodes: 16,
+            corner: true,
+            ht_count: 4,
+            seeds: vec![0, 1],
+        };
+        let direct = fig3_point(16, ManagerLocation::Corner, 4, &[0, 1]);
+        assert_eq!(spec.execute(), JobOutput::Rate(direct));
+    }
+}

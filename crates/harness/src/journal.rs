@@ -1,0 +1,153 @@
+//! Machine-readable run journal: one JSON object per line (JSONL).
+//!
+//! Every campaign appends to `<outdir>/journal.jsonl`. Events share two
+//! fields — `"event"` and `"ts_ms"` (Unix epoch milliseconds) — plus
+//! event-specific payloads:
+//!
+//! | event | fields |
+//! |---|---|
+//! | `run_start` | `run`, `scale`, `workers`, `jobs` |
+//! | `job` | `id`, `kind`, `worker`, `cache_hit`, `ok`, `secs`, `error?` |
+//! | `stage` | `label`, `secs` |
+//! | `run_end` | `run`, `secs`, `ok`, `failed`, `cache_hits` |
+//!
+//! The file is append-only across runs (a resumed campaign keeps its
+//! history) and writes are serialised through a mutex so concurrent
+//! workers never interleave partial lines.
+
+use std::fs::{self, OpenOptions};
+use std::io::{self, Write};
+use std::path::Path;
+use std::sync::Mutex;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use crate::json::Value;
+
+/// Append-only JSONL journal, safe to share across worker threads.
+pub struct Journal {
+    sink: Mutex<Box<dyn Write + Send>>,
+}
+
+impl std::fmt::Debug for Journal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Journal").finish_non_exhaustive()
+    }
+}
+
+impl Journal {
+    /// Opens (appending) the journal at `path`, creating parent
+    /// directories as needed.
+    pub fn open(path: &Path) -> io::Result<Journal> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                fs::create_dir_all(parent)?;
+            }
+        }
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(Journal {
+            sink: Mutex::new(Box::new(file)),
+        })
+    }
+
+    /// A journal that discards everything (for tests and `--no-journal`
+    /// contexts).
+    #[must_use]
+    pub fn disabled() -> Journal {
+        Journal {
+            sink: Mutex::new(Box::new(io::sink())),
+        }
+    }
+
+    /// Appends one event line with the given payload fields.
+    pub fn record(&self, event: &str, fields: Vec<(&str, Value)>) {
+        let mut pairs = vec![
+            ("event", Value::Str(event.to_string())),
+            ("ts_ms", Value::Int(now_ms())),
+        ];
+        pairs.extend(fields);
+        let line = Value::obj(pairs).render();
+        let mut sink = self.sink.lock().unwrap_or_else(|e| e.into_inner());
+        // Journal I/O failures must not abort a campaign; drop the line.
+        let _ = writeln!(sink, "{line}");
+        let _ = sink.flush();
+    }
+
+    /// Records the completion of one job.
+    #[allow(clippy::too_many_arguments, clippy::fn_params_excessive_bools)]
+    pub fn job(
+        &self,
+        id: &str,
+        kind: &str,
+        worker: usize,
+        cache_hit: bool,
+        ok: bool,
+        secs: f64,
+        error: Option<&str>,
+    ) {
+        let mut fields = vec![
+            ("id", Value::Str(id.to_string())),
+            ("kind", Value::Str(kind.to_string())),
+            ("worker", Value::Int(worker as i64)),
+            ("cache_hit", Value::Bool(cache_hit)),
+            ("ok", Value::Bool(ok)),
+            ("secs", Value::Num(secs)),
+        ];
+        if let Some(e) = error {
+            fields.push(("error", Value::Str(e.to_string())));
+        }
+        self.record("job", fields);
+    }
+
+    /// Records a named pipeline stage's wall time (used by
+    /// `htpb_bench::timed_stage`).
+    pub fn stage(&self, label: &str, secs: f64) {
+        self.record(
+            "stage",
+            vec![
+                ("label", Value::Str(label.to_string())),
+                ("secs", Value::Num(secs)),
+            ],
+        );
+    }
+}
+
+fn now_ms() -> i64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis() as i64)
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn journal_lines_are_valid_jsonl() {
+        let path =
+            std::env::temp_dir().join(format!("htpb-journal-test-{}.jsonl", std::process::id()));
+        let _ = fs::remove_file(&path);
+        let j = Journal::open(&path).unwrap();
+        j.job("fig3-n64-center-ht5-s0", "fig3", 2, false, true, 0.25, None);
+        j.stage("assemble", 0.01);
+        j.record("run_end", vec![("ok", Value::Bool(true))]);
+        let text = fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        for line in &lines {
+            let v = crate::json::parse(line).expect("valid json");
+            assert!(v.get("event").is_some());
+            assert!(v.get("ts_ms").is_some());
+        }
+        assert_eq!(
+            crate::json::parse(lines[0]).unwrap().get("worker"),
+            Some(&Value::Int(2))
+        );
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn disabled_journal_is_a_no_op() {
+        Journal::disabled().stage("x", 1.0);
+    }
+}

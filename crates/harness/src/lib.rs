@@ -1,0 +1,46 @@
+//! `htpb-harness` — parallel, resumable experiment-campaign orchestration
+//! for the SOCC 2018 hardware-Trojan power-budgeting reproduction.
+//!
+//! The crate turns the experiment drivers of `htpb_core::experiments` into
+//! first-class, schedulable **jobs**:
+//!
+//! - [`JobSpec`] / [`JobOutput`] — one experiment point as a pure function
+//!   of its parameters and seeds ([`job`]);
+//! - [`run_jobs`] — a fixed-size worker pool with per-job
+//!   `catch_unwind` isolation; results return in job order, so parallel
+//!   campaigns are byte-identical to sequential ones ([`runner`]);
+//! - [`ResultCache`] — a content-addressed on-disk cache under
+//!   `<outdir>/.cache/`; re-runs skip completed points and interrupted
+//!   campaigns resume ([`cache`]);
+//! - [`Journal`] — an append-only JSONL run journal at
+//!   `<outdir>/journal.jsonl` with per-job and per-stage timings
+//!   ([`journal`]);
+//! - [`run_repro`] / [`run_repro_sequential`] — the whole `repro_all`
+//!   campaign planned as jobs, plus the legacy sequential reference path
+//!   ([`repro`]);
+//! - [`HarnessArgs`] — the shared `--jobs` / `--no-cache` / `--resume`
+//!   flag parser ([`cli`]).
+//!
+//! See `docs/HARNESS.md` for the job model, cache layout and journal
+//! schema.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod cli;
+pub mod hash;
+pub mod job;
+pub mod journal;
+pub mod json;
+pub mod repro;
+pub mod runner;
+
+pub use cache::{ResultCache, SCHEMA_VERSION};
+pub use cli::HarnessArgs;
+pub use job::{CampaignScale, Fig4Strategy, JobOutput, JobSpec};
+pub use journal::Journal;
+pub use repro::{
+    cache_for, ensure_outdir, run_repro, run_repro_sequential, ReproOutcome, ReproPlan, ReproScale,
+};
+pub use runner::{run_jobs, JobReport, RunOptions};

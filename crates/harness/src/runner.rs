@@ -1,0 +1,257 @@
+//! Fixed-size worker pool executing [`JobSpec`]s.
+//!
+//! Scheduling is a shared atomic work index over an immutable job slice:
+//! workers claim the next unclaimed job, execute it (or serve it from the
+//! cache) and write the report into that job's slot. Results are returned
+//! **in job order**, regardless of which worker finished when — combined
+//! with per-job determinism this makes parallel campaigns byte-identical
+//! to sequential ones.
+//!
+//! Each job runs under [`std::panic::catch_unwind`], so one panicking
+//! scenario records a failure and the rest of the campaign continues.
+
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
+use std::time::Instant;
+
+use crate::cache::ResultCache;
+use crate::job::{JobOutput, JobSpec};
+use crate::journal::Journal;
+
+/// Pool configuration.
+#[derive(Debug)]
+pub struct RunOptions {
+    /// Number of worker threads (clamped to at least 1).
+    pub workers: usize,
+    /// Result cache; `None` disables caching entirely (`--no-cache`).
+    pub cache: Option<ResultCache>,
+    /// Emit a progress/ETA line on stderr while running.
+    pub progress: bool,
+}
+
+impl RunOptions {
+    /// Sequential, uncached, quiet — the baseline configuration tests use.
+    #[must_use]
+    pub fn sequential() -> RunOptions {
+        RunOptions {
+            workers: 1,
+            cache: None,
+            progress: false,
+        }
+    }
+
+    /// The number of workers `--jobs 0` / no flag resolves to: one per
+    /// available core.
+    #[must_use]
+    pub fn default_workers() -> usize {
+        thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    }
+}
+
+/// The outcome of one job.
+#[derive(Debug)]
+pub struct JobReport {
+    /// The executed spec.
+    pub spec: JobSpec,
+    /// The result, or the panic message if the job's scenario panicked.
+    pub output: Result<JobOutput, String>,
+    /// Whether the result came from the cache.
+    pub cache_hit: bool,
+    /// Wall time of this job (near zero for cache hits).
+    pub secs: f64,
+    /// Index of the worker that ran the job.
+    pub worker: usize,
+}
+
+impl JobReport {
+    /// The output, panicking with the job id on a failed job. Campaign
+    /// assembly uses this for artefacts that cannot tolerate holes.
+    #[must_use]
+    pub fn expect_output(&self) -> &JobOutput {
+        match &self.output {
+            Ok(out) => out,
+            Err(e) => panic!("job {} failed: {e}", self.spec.id()),
+        }
+    }
+}
+
+/// Executes `jobs` on the pool and returns one report per job, in job
+/// order. Journal entries are appended as jobs complete (completion
+/// order); pass [`Journal::disabled`] to skip journalling.
+pub fn run_jobs(jobs: &[JobSpec], opts: &RunOptions, journal: &Journal) -> Vec<JobReport> {
+    let total = jobs.len();
+    let workers = opts.workers.max(1).min(total.max(1));
+    let next = AtomicUsize::new(0);
+    let done = AtomicUsize::new(0);
+    let hits = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<JobReport>>> = (0..total).map(|_| Mutex::new(None)).collect();
+    let started = Instant::now();
+
+    thread::scope(|scope| {
+        for worker in 0..workers {
+            let next = &next;
+            let done = &done;
+            let hits = &hits;
+            let slots = &slots;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= total {
+                    break;
+                }
+                let spec = &jobs[i];
+                let t0 = Instant::now();
+                let (output, cache_hit) = execute_one(spec, opts.cache.as_ref());
+                let secs = t0.elapsed().as_secs_f64();
+                journal.job(
+                    &spec.id(),
+                    spec.kind(),
+                    worker,
+                    cache_hit,
+                    output.is_ok(),
+                    secs,
+                    output.as_ref().err().map(String::as_str),
+                );
+                *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(JobReport {
+                    spec: spec.clone(),
+                    output,
+                    cache_hit,
+                    secs,
+                    worker,
+                });
+                if cache_hit {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                }
+                let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+                if opts.progress {
+                    print_progress(finished, total, hits.load(Ordering::Relaxed), &started);
+                }
+            });
+        }
+    });
+
+    if opts.progress && total > 0 {
+        eprintln!();
+    }
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap_or_else(|e| e.into_inner())
+                .expect("every claimed job writes its slot")
+        })
+        .collect()
+}
+
+fn execute_one(spec: &JobSpec, cache: Option<&ResultCache>) -> (Result<JobOutput, String>, bool) {
+    if let Some(cache) = cache {
+        if let Some(output) = cache.load(spec) {
+            return (Ok(output), true);
+        }
+    }
+    let result = panic::catch_unwind(AssertUnwindSafe(|| spec.execute()));
+    match result {
+        Ok(output) => {
+            if let Some(cache) = cache {
+                if let Err(e) = cache.store(spec, &output) {
+                    eprintln!(
+                        "[harness] warning: cache write for {} failed: {e}",
+                        spec.id()
+                    );
+                }
+            }
+            (Ok(output), false)
+        }
+        Err(payload) => (Err(panic_message(payload.as_ref())), false),
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+fn print_progress(done: usize, total: usize, hits: usize, started: &Instant) {
+    let elapsed = started.elapsed().as_secs_f64();
+    let eta = if done > 0 {
+        elapsed / done as f64 * (total - done) as f64
+    } else {
+        0.0
+    };
+    eprint!(
+        "\r[harness] {done}/{total} jobs ({hits} cached) elapsed {elapsed:.1}s eta {eta:.1}s   "
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_jobs() -> Vec<JobSpec> {
+        (0..4)
+            .map(|m| JobSpec::Fig3Point {
+                nodes: 16,
+                corner: m % 2 == 1,
+                ht_count: m,
+                seeds: vec![0, 1],
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let jobs = tiny_jobs();
+        let seq = run_jobs(&jobs, &RunOptions::sequential(), &Journal::disabled());
+        let par = run_jobs(
+            &jobs,
+            &RunOptions {
+                workers: 4,
+                cache: None,
+                progress: false,
+            },
+            &Journal::disabled(),
+        );
+        for (a, b) in seq.iter().zip(&par) {
+            assert_eq!(a.spec, b.spec);
+            assert_eq!(a.output.as_ref().unwrap(), b.output.as_ref().unwrap());
+        }
+    }
+
+    #[test]
+    fn panicking_job_is_isolated() {
+        // nodes = 0 makes Mesh2d::with_nodes fail and the experiment
+        // constructor panic; the other jobs must still complete.
+        let mut jobs = tiny_jobs();
+        jobs.insert(
+            1,
+            JobSpec::Fig3Point {
+                nodes: 0,
+                corner: false,
+                ht_count: 1,
+                seeds: vec![0],
+            },
+        );
+        let reports = run_jobs(
+            &jobs,
+            &RunOptions {
+                workers: 2,
+                cache: None,
+                progress: false,
+            },
+            &Journal::disabled(),
+        );
+        assert_eq!(reports.len(), 5);
+        assert!(reports[1].output.is_err(), "bad job must fail");
+        for (i, r) in reports.iter().enumerate() {
+            if i != 1 {
+                assert!(r.output.is_ok(), "job {i} should survive the panic");
+            }
+        }
+    }
+}

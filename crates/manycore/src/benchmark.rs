@@ -275,9 +275,14 @@ mod tests {
     #[test]
     fn desired_level_tracks_boundedness() {
         let table = DvfsTable::default_six_level();
-        let bs = Benchmark::Blackscholes.profile().desired_level(&table, 0.90);
+        let bs = Benchmark::Blackscholes
+            .profile()
+            .desired_level(&table, 0.90);
         let cn = Benchmark::Canneal.profile().desired_level(&table, 0.90);
-        assert!(bs > cn, "compute-bound wants higher level: {bs:?} vs {cn:?}");
+        assert!(
+            bs > cn,
+            "compute-bound wants higher level: {bs:?} vs {cn:?}"
+        );
         assert_eq!(
             Benchmark::Blackscholes.profile().desired_level(&table, 1.0),
             table.max_level()

@@ -150,11 +150,14 @@ impl SetAssocCache {
                     .min_by_key(|w| self.stamps[base + w])
                     .expect("ways > 0")
             });
-        let evicted = (self.tags[base + victim_way] != u64::MAX)
-            .then_some(self.tags[base + victim_way]);
+        let evicted =
+            (self.tags[base + victim_way] != u64::MAX).then_some(self.tags[base + victim_way]);
         self.tags[base + victim_way] = line;
         self.stamps[base + victim_way] = self.clock;
-        AccessResult { hit: false, evicted }
+        AccessResult {
+            hit: false,
+            evicted,
+        }
     }
 
     /// Removes a line if present (directory-initiated invalidation).

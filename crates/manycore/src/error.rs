@@ -62,9 +62,15 @@ mod tests {
             requested: 70,
             available: 63,
         };
-        assert_eq!(e.to_string(), "workload needs 70 cores but only 63 are available");
         assert_eq!(
-            ManycoreError::InvalidConfig { reason: "bad epoch" }.to_string(),
+            e.to_string(),
+            "workload needs 70 cores but only 63 are available"
+        );
+        assert_eq!(
+            ManycoreError::InvalidConfig {
+                reason: "bad epoch"
+            }
+            .to_string(),
             "invalid config: bad epoch"
         );
     }

@@ -46,11 +46,10 @@ mod system;
 mod tile;
 
 pub use app::{AppId, AppRole, Application, Workload};
-pub use cache::{
-    AccessResult, AddressStream, CacheConfig, Directory, DirectoryAction, LineState,
-    SetAssocCache,
-};
 pub use benchmark::{Benchmark, BenchmarkProfile};
+pub use cache::{
+    AccessResult, AddressStream, CacheConfig, Directory, DirectoryAction, LineState, SetAssocCache,
+};
 pub use error::ManycoreError;
 pub use report::{AppPerformance, PerformanceReport};
 pub use system::{ManyCoreSystem, RequestProtection, SystemBuilder, SystemConfig};

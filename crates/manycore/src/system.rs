@@ -336,9 +336,7 @@ impl SystemBuilder {
                 })
             })
             .sum();
-        let budget = cfg
-            .budget_mw
-            .unwrap_or(honest_demand * cfg.budget_fraction);
+        let budget = cfg.budget_mw.unwrap_or(honest_demand * cfg.budget_fraction);
         let manager = GlobalManager::new(budget, cfg.allocator.build());
 
         let net = Network::with_inspector(
@@ -698,8 +696,7 @@ impl<I: PacketInspector> ManyCoreSystem<I> {
                             }
                         }
                     }
-                    self.manager
-                        .submit(PowerRequest::new(p.src().raw(), value));
+                    self.manager.submit(PowerRequest::new(p.src().raw(), value));
                 }
                 PacketKind::PowerGrant => {
                     let tile = &mut self.tiles[p.dst().0 as usize];
@@ -877,7 +874,13 @@ mod tests {
             .workload(Workload::new().app(Benchmark::Vips, 4, AppRole::Legitimate))
             .build()
             .unwrap_err();
-        assert!(matches!(err, ManycoreError::NotEnoughCores { requested: 4, available: 3 }));
+        assert!(matches!(
+            err,
+            ManycoreError::NotEnoughCores {
+                requested: 4,
+                available: 3
+            }
+        ));
     }
 
     #[test]
@@ -949,8 +952,7 @@ mod tests {
     #[test]
     fn scarce_budget_throttles_against_ample() {
         let mesh = Mesh2d::new(4, 4).unwrap();
-        let workload =
-            || Workload::new().app(Benchmark::Blackscholes, 15, AppRole::Legitimate);
+        let workload = || Workload::new().app(Benchmark::Blackscholes, 15, AppRole::Legitimate);
         let mut scarce = SystemBuilder::new(mesh)
             .workload(workload())
             .budget_fraction(0.3)
@@ -998,7 +1000,11 @@ mod tests {
             .detailed_caches(true)
             .build()
             .unwrap();
-        assert!(sys.tiles().iter().filter(|t| t.is_assigned()).all(|t| t.has_detailed_cache()));
+        assert!(sys
+            .tiles()
+            .iter()
+            .filter(|t| t.is_assigned())
+            .all(|t| t.has_detailed_cache()));
         sys.run_epochs(3);
         // Tiles warmed their L1s and the chip carried real L2 traffic.
         let warm = sys
@@ -1050,7 +1056,10 @@ mod tests {
         let cold = sys.power_draw_mw();
         sys.run_epochs(3);
         let warm = sys.power_draw_mw();
-        assert!(warm > cold, "grants should raise the draw: {cold} -> {warm}");
+        assert!(
+            warm > cold,
+            "grants should raise the draw: {cold} -> {warm}"
+        );
         assert!(
             warm <= sys.manager().budget_mw() * 1.05,
             "draw {warm} exceeds budget {}",

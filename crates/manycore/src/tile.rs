@@ -92,8 +92,7 @@ impl Tile {
         let Some(a) = self.assignment.as_ref() else {
             return;
         };
-        let miss_ratio =
-            (a.profile.l2_accesses_per_kinstr / REFS_PER_KINSTR).clamp(0.0, 1.0);
+        let miss_ratio = (a.profile.l2_accesses_per_kinstr / REFS_PER_KINSTR).clamp(0.0, 1.0);
         self.detailed = Some(DetailedL1 {
             cache: SetAssocCache::new(CacheConfig::l1_data()),
             stream: AddressStream::new(self.node.raw(), 8, 1.0 - miss_ratio, 0.25),

@@ -60,11 +60,19 @@ mod tests {
     #[test]
     fn display_messages_are_informative() {
         assert_eq!(
-            NocError::InvalidMesh { width: 0, height: 4 }.to_string(),
+            NocError::InvalidMesh {
+                width: 0,
+                height: 4
+            }
+            .to_string(),
             "invalid mesh dimensions 0x4"
         );
         assert_eq!(
-            NocError::NodeOutOfRange { node: NodeId(99), nodes: 64 }.to_string(),
+            NocError::NodeOutOfRange {
+                node: NodeId(99),
+                nodes: 64
+            }
+            .to_string(),
             "node 99 out of range (mesh has 64 nodes)"
         );
         assert_eq!(
@@ -78,9 +86,8 @@ mod tests {
 
     #[test]
     fn implements_std_error() {
-        let e: Box<dyn std::error::Error> = Box::new(NocError::InjectionQueueFull {
-            node: NodeId(1),
-        });
+        let e: Box<dyn std::error::Error> =
+            Box::new(NocError::InjectionQueueFull { node: NodeId(1) });
         assert!(e.source().is_none());
     }
 }

@@ -335,7 +335,8 @@ impl<I: PacketInspector> Network<I> {
             for out_dir in Direction::ALL {
                 let od = out_dir.index();
                 // Output link must be free this cycle (one flit per cycle).
-                if out_dir != Direction::Local && self.links[self.link_index(node, out_dir)].is_some()
+                if out_dir != Direction::Local
+                    && self.links[self.link_index(node, out_dir)].is_some()
                 {
                     continue;
                 }
@@ -466,7 +467,9 @@ impl<I: PacketInspector> Network<I> {
             if !vc.has_space() {
                 continue;
             }
-            let flit = self.injection_queues[ri].pop_front().expect("front checked");
+            let flit = self.injection_queues[ri]
+                .pop_front()
+                .expect("front checked");
             self.injection_vc[ri] = if flit.kind.is_tail() {
                 None
             } else {
@@ -847,8 +850,14 @@ mod tests {
         assert!(n.run_until_idle(1_000));
         let trace = n.trace().expect("tracing enabled");
         let hist = trace.packet_history(id);
-        assert!(matches!(hist.first(), Some(crate::TraceEvent::Injected { .. })));
-        assert!(matches!(hist.last(), Some(crate::TraceEvent::Ejected { .. })));
+        assert!(matches!(
+            hist.first(),
+            Some(crate::TraceEvent::Injected { .. })
+        ));
+        assert!(matches!(
+            hist.last(),
+            Some(crate::TraceEvent::Ejected { .. })
+        ));
         assert_eq!(
             trace.packet_route(id),
             vec![NodeId(3), NodeId(2), NodeId(1), NodeId(0)]

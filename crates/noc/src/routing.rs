@@ -114,7 +114,7 @@ impl OddEvenRouting {
         if ex == 0 && ey == 0 {
             return vec![Direction::Local];
         }
-        let even_col = c.x % 2 == 0;
+        let even_col = c.x.is_multiple_of(2);
         if ex > 0 {
             // Eastbound: turning off the E channel (E→N / E→S) is only legal
             // in odd columns, so only offer the Y moves there — unless the
@@ -263,7 +263,9 @@ mod tests {
     fn routes_at_destination_are_local() {
         let m = mesh();
         for kind in RoutingKind::ALL {
-            let dirs = kind.build().route(m, NodeId(20), NodeId(20), Direction::North);
+            let dirs = kind
+                .build()
+                .route(m, NodeId(20), NodeId(20), Direction::North);
             assert_eq!(dirs, vec![Direction::Local], "{kind:?}");
         }
     }

@@ -155,7 +155,7 @@ impl Mesh2d {
         let mut best: Option<(u16, u16)> = None;
         let mut h = 1u32;
         while h * h <= nodes {
-            if nodes % h == 0 {
+            if nodes.is_multiple_of(h) {
                 let w = nodes / h;
                 if w <= u16::MAX as u32 {
                     best = Some((w as u16, h as u16));

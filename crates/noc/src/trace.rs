@@ -116,7 +116,6 @@ impl TraceBuffer {
     }
 
     /// Retained events, oldest first.
-    #[must_use]
     pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
         self.events.iter()
     }
@@ -157,7 +156,9 @@ impl TraceBuffer {
         self.events
             .iter()
             .filter_map(|e| match e {
-                TraceEvent::Routed { packet: p, node, .. } if *p == packet => Some(*node),
+                TraceEvent::Routed {
+                    packet: p, node, ..
+                } if *p == packet => Some(*node),
                 _ => None,
             })
             .collect()
@@ -255,10 +256,7 @@ mod tests {
             }
         }
         let hot = b.tamper_hotspots();
-        assert_eq!(
-            hot,
-            vec![(NodeId(5), 3), (NodeId(2), 2), (NodeId(9), 1)]
-        );
+        assert_eq!(hot, vec![(NodeId(5), 3), (NodeId(2), 2), (NodeId(9), 1)]);
     }
 
     #[test]

@@ -82,7 +82,13 @@ impl HotspotTraffic {
     pub fn new(mesh: Mesh2d, hotspot: NodeId, period: u64, jitter: u64, seed: u64) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
         let offsets = (0..mesh.nodes())
-            .map(|_| if jitter == 0 { 0 } else { rng.gen_range(0..jitter) })
+            .map(|_| {
+                if jitter == 0 {
+                    0
+                } else {
+                    rng.gen_range(0..jitter)
+                }
+            })
             .collect();
         HotspotTraffic {
             mesh,
@@ -103,7 +109,7 @@ impl TrafficPattern for HotspotTraffic {
                 continue;
             }
             let phase = self.offsets[src.0 as usize];
-            if cycle >= phase && (cycle - phase) % self.period == 0 {
+            if cycle >= phase && (cycle - phase).is_multiple_of(self.period) {
                 let watts = self.rng.gen_range(500..5_000);
                 out.push(Packet::power_request(src, self.hotspot, watts));
             }

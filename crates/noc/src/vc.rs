@@ -112,11 +112,7 @@ mod tests {
     use crate::topology::NodeId;
 
     fn data_flits() -> Vec<Flit> {
-        Flit::packetize(
-            Packet::new(NodeId(0), NodeId(1), PacketKind::Data, 0),
-            1,
-            0,
-        )
+        Flit::packetize(Packet::new(NodeId(0), NodeId(1), PacketKind::Data, 0), 1, 0)
     }
 
     #[test]

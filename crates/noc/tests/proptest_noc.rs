@@ -18,8 +18,7 @@ struct RandomDropper {
 
 impl PacketInspector for RandomDropper {
     fn inspect(&mut self, router: NodeId, _cycle: u64, packet: &mut Packet) -> InspectOutcome {
-        if router == self.node && packet.payload().wrapping_mul(0x9E3779B9) >> 16 < self.threshold
-        {
+        if router == self.node && packet.payload().wrapping_mul(0x9E3779B9) >> 16 < self.threshold {
             InspectOutcome::dropped()
         } else {
             InspectOutcome::untouched()
@@ -87,7 +86,7 @@ proptest! {
         prop_assert!(net.run_until_idle(10_000));
         let out = net.drain_ejected();
         prop_assert_eq!(out.len(), 1);
-        prop_assert_eq!(u32::from(out[0].hops), mesh.distance(src, dst));
+        prop_assert_eq!(out[0].hops, mesh.distance(src, dst));
     }
 
     /// Adaptive routing is also minimal in hop count (odd-even only offers
@@ -101,7 +100,7 @@ proptest! {
         net.inject(Packet::power_request(src, dst, 1)).expect("inject");
         prop_assert!(net.run_until_idle(10_000));
         let out = net.drain_ejected();
-        prop_assert_eq!(u32::from(out[0].hops), mesh.distance(src, dst));
+        prop_assert_eq!(out[0].hops, mesh.distance(src, dst));
     }
 
     /// Conservation under drops: every injected packet is either delivered

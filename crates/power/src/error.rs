@@ -39,7 +39,10 @@ mod tests {
     #[test]
     fn display_messages_are_informative() {
         assert_eq!(
-            PowerError::InvalidDvfsTable { reason: "no levels" }.to_string(),
+            PowerError::InvalidDvfsTable {
+                reason: "no levels"
+            }
+            .to_string(),
             "invalid DVFS table: no levels"
         );
         assert_eq!(
@@ -50,8 +53,9 @@ mod tests {
 
     #[test]
     fn implements_std_error() {
-        let e: Box<dyn std::error::Error> =
-            Box::new(PowerError::InvalidPowerValue { milliwatts: f64::NAN });
+        let e: Box<dyn std::error::Error> = Box::new(PowerError::InvalidPowerValue {
+            milliwatts: f64::NAN,
+        });
         assert!(e.source().is_none());
     }
 }

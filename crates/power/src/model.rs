@@ -236,19 +236,13 @@ mod tests {
         // A grant below the minimum level's power starves the core.
         assert_eq!(m.level_for_grant(m.min_power_mw() - 1.0), None);
         // Exactly the minimum level's power yields level 0.
-        assert_eq!(
-            m.level_for_grant(m.min_power_mw()),
-            Some(FrequencyLevel(0))
-        );
+        assert_eq!(m.level_for_grant(m.min_power_mw()), Some(FrequencyLevel(0)));
         // A huge grant yields the top level.
         assert_eq!(m.level_for_grant(1e9), Some(m.table().max_level()));
         // Grants between two levels round down.
         let p2 = m.power_mw(FrequencyLevel(2));
         let p3 = m.power_mw(FrequencyLevel(3));
-        assert_eq!(
-            m.level_for_grant((p2 + p3) / 2.0),
-            Some(FrequencyLevel(2))
-        );
+        assert_eq!(m.level_for_grant((p2 + p3) / 2.0), Some(FrequencyLevel(2)));
     }
 
     #[test]

@@ -5,8 +5,8 @@
 use proptest::prelude::*;
 
 use htpb_power::{
-    DpAllocator, FairShareAllocator, GreedyAllocator, MarketAllocator, PiAllocator,
-    PowerAllocator, PowerModel, PowerRequest,
+    DpAllocator, FairShareAllocator, GreedyAllocator, MarketAllocator, PiAllocator, PowerAllocator,
+    PowerModel, PowerRequest,
 };
 
 fn arb_requests() -> impl Strategy<Value = Vec<PowerRequest>> {

@@ -109,6 +109,7 @@ impl TrojanState {
 /// 1. packet type == `CONFIG_CMD` → (re)configure;
 /// 2. destination == stored global-manager id;
 /// 3. source != stored attacker id;
+///
 /// and the functional module rewrites the payload when 2 ∧ 3 hold while the
 /// activation latch is set.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -360,9 +361,16 @@ mod tests {
         let mut second =
             Packet::config_command(NodeId(50), HT_NODE, NodeId(60), ActivationSignal::On);
         ht.inspect(HT_NODE, 2, &mut second);
-        assert_eq!(ht.state().manager, Some(MANAGER), "manager first-write-wins");
+        assert_eq!(
+            ht.state().manager,
+            Some(MANAGER),
+            "manager first-write-wins"
+        );
         assert!(ht.state().is_attacker(ATTACKER));
-        assert!(ht.state().is_attacker(NodeId(50)), "second agent registered");
+        assert!(
+            ht.state().is_attacker(NodeId(50)),
+            "second agent registered"
+        );
         // Both agents' requests now pass untouched.
         let mut req = Packet::power_request(NodeId(50), MANAGER, 100);
         assert!(!ht.inspect(HT_NODE, 3, &mut req).modified);

@@ -1,8 +1,6 @@
 use std::collections::HashMap;
 
-use htpb_noc::{
-    ActivationSignal, InspectOutcome, Mesh2d, NodeId, Packet, PacketInspector,
-};
+use htpb_noc::{ActivationSignal, InspectOutcome, Mesh2d, NodeId, Packet, PacketInspector};
 
 use crate::circuit::{BoostRule, HardwareTrojan, TamperRule, TrojanMode};
 use crate::schedule::ActivationSchedule;
@@ -244,8 +242,12 @@ mod tests {
 
     #[test]
     fn schedule_gates_the_whole_fleet() {
-        let mut fleet = TrojanFleet::new(&[NodeId(1)], TamperRule::Zero)
-            .with_schedule(ActivationSchedule::Window { start: 100, end: 200 });
+        let mut fleet = TrojanFleet::new(&[NodeId(1)], TamperRule::Zero).with_schedule(
+            ActivationSchedule::Window {
+                start: 100,
+                end: 200,
+            },
+        );
         fleet.configure_all(&[ATTACKER], MANAGER, true);
         let mut req = Packet::power_request(NodeId(3), MANAGER, 1_000);
         assert!(!fleet.inspect(NodeId(1), 50, &mut req).modified);
@@ -283,8 +285,7 @@ mod tests {
     #[test]
     fn broadcast_covers_all_other_nodes() {
         let mesh = Mesh2d::new(4, 4).unwrap();
-        let pkts =
-            TrojanFleet::config_broadcast(mesh, ATTACKER, MANAGER, ActivationSignal::On);
+        let pkts = TrojanFleet::config_broadcast(mesh, ATTACKER, MANAGER, ActivationSignal::On);
         assert_eq!(pkts.len() as u32, mesh.nodes() - 1);
         assert!(pkts.iter().all(|p| p.src() == ATTACKER));
         assert!(pkts
@@ -294,8 +295,8 @@ mod tests {
 
     #[test]
     fn fleet_boost_applies_at_every_trojan() {
-        let mut fleet = TrojanFleet::new(&[NodeId(1)], TamperRule::Zero)
-            .with_boost(BoostRule::new(150));
+        let mut fleet =
+            TrojanFleet::new(&[NodeId(1)], TamperRule::Zero).with_boost(BoostRule::new(150));
         fleet.configure_all(&[ATTACKER], MANAGER, true);
         let mut req = Packet::power_request(ATTACKER, MANAGER, 1_000);
         assert!(fleet.inspect(NodeId(1), 0, &mut req).modified);

@@ -102,7 +102,13 @@ mod tests {
     #[test]
     fn duty_constructor_rounds() {
         let s = ActivationSchedule::duty(0.5, 100);
-        assert_eq!(s, ActivationSchedule::DutyCycle { on: 50, period: 100 });
+        assert_eq!(
+            s,
+            ActivationSchedule::DutyCycle {
+                on: 50,
+                period: 100
+            }
+        );
         assert_eq!(
             ActivationSchedule::duty(2.0, 10),
             ActivationSchedule::DutyCycle { on: 10, period: 10 }

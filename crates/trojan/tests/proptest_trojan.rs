@@ -4,9 +4,7 @@
 
 use proptest::prelude::*;
 
-use htpb_noc::{
-    ActivationSignal, InspectOutcome, NodeId, Packet, PacketInspector, PacketKind,
-};
+use htpb_noc::{ActivationSignal, InspectOutcome, NodeId, Packet, PacketInspector, PacketKind};
 use htpb_trojan::{ActivationSchedule, BoostRule, HardwareTrojan, TamperRule, TrojanFleet};
 
 fn arb_kind() -> impl Strategy<Value = PacketKind> {

@@ -41,12 +41,7 @@ fn main() {
     let result = run_campaign(&cfg, duty);
 
     println!("app              role       Θ (attacked/clean)   starved cores");
-    for ((_, role, change), att) in result
-        .outcome
-        .changes
-        .iter()
-        .zip(&result.attacked.apps)
-    {
+    for ((_, role, change), att) in result.outcome.changes.iter().zip(&result.attacked.apps) {
         println!(
             "{:<16} {:<9} {:>10.3}x          {:>6}/{}",
             att.benchmark.name(),

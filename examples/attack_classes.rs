@@ -45,7 +45,11 @@ fn main() {
     };
     let nodes: u32 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(64);
 
-    println!("attack-class comparison on {} ({} nodes)\n", mix.name(), nodes);
+    println!(
+        "attack-class comparison on {} ({} nodes)\n",
+        mix.name(),
+        nodes
+    );
     println!("class        Q(Δ,Γ)   worst victim   silent requesters/epoch");
     for (label, mode) in [
         ("false-data", TrojanMode::FalseData),

@@ -11,8 +11,8 @@
 //! Run with: `cargo run --release --example defense_demo`
 
 use htpb_core::{
-    AppRole, Benchmark, Mesh2d, NodeId, RequestProtection, SystemBuilder, TamperRule,
-    TrojanFleet, Workload,
+    AppRole, Benchmark, Mesh2d, NodeId, RequestProtection, SystemBuilder, TamperRule, TrojanFleet,
+    Workload,
 };
 use htpb_defense::{DetectorConfig, RequestAnomalyDetector, TrojanLocalizer};
 
@@ -48,7 +48,10 @@ fn main() {
         .filter_map(|d| mesh.neighbor(manager, d))
         .collect();
     println!("== defending the power-budget protocol ==");
-    println!("chip: 8x8, manager at {manager}, Trojans at {:?}\n", trojans);
+    println!(
+        "chip: 8x8, manager at {manager}, Trojans at {:?}\n",
+        trojans
+    );
 
     // 1. Vulnerable baseline under attack.
     let mut attacked = SystemBuilder::new(mesh)
@@ -126,5 +129,8 @@ fn main() {
         .iter()
         .filter(|t| report.suspects.contains(t))
         .count();
-    println!("true Trojans inside the suspect set: {found}/{}", sparse.len());
+    println!(
+        "true Trojans inside the suspect set: {found}/{}",
+        sparse.len()
+    );
 }

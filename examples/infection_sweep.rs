@@ -8,9 +8,7 @@
 //! over several seeds), and cross-checks the cycle-accurate measurement
 //! against the closed-form XY-route estimate.
 
-use htpb_core::{
-    analytic_infection_rate, InfectionExperiment, ManagerLocation, PlacementStrategy,
-};
+use htpb_core::{analytic_infection_rate, InfectionExperiment, ManagerLocation, PlacementStrategy};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();

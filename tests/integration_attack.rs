@@ -14,10 +14,7 @@ fn attack_starves_victims_and_boosts_attackers() {
     assert!(r.outcome.q_value > 2.0, "q = {}", r.outcome.q_value);
     for (_, role, change) in &r.outcome.changes {
         match role {
-            AppRole::Malicious => assert!(
-                *change >= 1.0,
-                "attacker lost performance: {change}"
-            ),
+            AppRole::Malicious => assert!(*change >= 1.0, "attacker lost performance: {change}"),
             AppRole::Legitimate => assert!(
                 *change < 0.7,
                 "victim barely hurt at full infection: {change}"
@@ -44,7 +41,11 @@ fn dormant_trojans_are_perfectly_stealthy() {
     let cfg = CampaignConfig::small(Mix::Mix2);
     let r = run_campaign(&cfg, 0.0);
     assert_eq!(r.outcome.infection_rate, 0.0);
-    assert!((r.outcome.q_value - 1.0).abs() < 1e-9, "q = {}", r.outcome.q_value);
+    assert!(
+        (r.outcome.q_value - 1.0).abs() < 1e-9,
+        "q = {}",
+        r.outcome.q_value
+    );
     for (_, _, change) in &r.outcome.changes {
         assert!((change - 1.0).abs() < 1e-9);
     }
@@ -89,7 +90,10 @@ fn softer_tamper_rules_weaken_but_keep_the_attack() {
     scale_cfg.tamper_rule = TamperRule::ScalePercent(60);
     let q_scale = run_campaign(&scale_cfg, 1.0).outcome.q_value;
 
-    assert!(q_zero > q_scale, "zeroing should dominate: {q_zero} vs {q_scale}");
+    assert!(
+        q_zero > q_scale,
+        "zeroing should dominate: {q_zero} vs {q_scale}"
+    );
     assert!(q_scale > 1.0, "soft tampering still effective: {q_scale}");
 }
 

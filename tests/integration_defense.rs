@@ -3,10 +3,12 @@
 //! recover the Trojan positions from manager-visible evidence only.
 
 use htpb_core::{
-    AppRole, Benchmark, Mesh2d, NodeId, RequestProtection, SystemBuilder, TamperRule,
-    TrojanFleet, Workload,
+    AppRole, Benchmark, Mesh2d, NodeId, RequestProtection, SystemBuilder, TamperRule, TrojanFleet,
+    Workload,
 };
-use htpb_defense::{DetectorConfig, ProbeCampaign, ProbePlan, RequestAnomalyDetector, TrojanLocalizer};
+use htpb_defense::{
+    DetectorConfig, ProbeCampaign, ProbePlan, RequestAnomalyDetector, TrojanLocalizer,
+};
 
 fn workload() -> Workload {
     Workload::new()
@@ -22,7 +24,9 @@ fn run_system(
     let manager = mesh.center();
     let mut fleet = TrojanFleet::new(trojans, TamperRule::Zero);
     fleet.configure_all(&[], manager, true);
-    let mut builder = SystemBuilder::new(mesh).manager(manager).workload(workload());
+    let mut builder = SystemBuilder::new(mesh)
+        .manager(manager)
+        .workload(workload());
     if let Some(p) = protection {
         builder = builder.protection(p);
     }
@@ -37,7 +41,11 @@ fn run_system(
         .filter(|a| a.role == AppRole::Legitimate)
         .map(|a| a.theta)
         .sum();
-    (victim_theta, sys.requests_rejected(), report.infection_rate())
+    (
+        victim_theta,
+        sys.requests_rejected(),
+        report.infection_rate(),
+    )
 }
 
 #[test]
@@ -50,16 +58,12 @@ fn checksum_protection_neutralises_the_attack() {
         .filter_map(|d| mesh.neighbor(manager, d))
         .collect();
 
-    let (theta_unprotected, rejected_unprotected, infection) =
-        run_system(mesh, &trojans, None);
+    let (theta_unprotected, rejected_unprotected, infection) = run_system(mesh, &trojans, None);
     assert!(infection > 0.9, "attack rig broken: infection {infection}");
     assert_eq!(rejected_unprotected, 0);
 
-    let (theta_protected, rejected, _) = run_system(
-        mesh,
-        &trojans,
-        Some(RequestProtection::new(0x5EC_12E7)),
-    );
+    let (theta_protected, rejected, _) =
+        run_system(mesh, &trojans, Some(RequestProtection::new(0x5EC_12E7)));
     assert!(rejected > 0, "protection never fired");
     assert!(
         theta_protected > theta_unprotected * 1.5,
@@ -71,8 +75,7 @@ fn checksum_protection_neutralises_the_attack() {
 fn protection_is_transparent_on_a_clean_chip() {
     let mesh = Mesh2d::new(8, 8).unwrap();
     let (theta_plain, _, _) = run_system(mesh, &[], None);
-    let (theta_protected, rejected, _) =
-        run_system(mesh, &[], Some(RequestProtection::new(42)));
+    let (theta_protected, rejected, _) = run_system(mesh, &[], Some(RequestProtection::new(42)));
     assert_eq!(rejected, 0, "false positives on a clean chip");
     assert!(
         (theta_plain - theta_protected).abs() / theta_plain < 0.05,
@@ -145,8 +148,7 @@ fn probing_catches_soft_scaling_that_ewma_misses() {
     let trojan = NodeId(19);
     let mut fleet = TrojanFleet::new(&[trojan], TamperRule::ScalePercent(60));
     fleet.configure_all(&[], manager, true);
-    let mut net =
-        htpb_core::Network::with_inspector(htpb_core::NetworkConfig::new(mesh), fleet);
+    let mut net = htpb_core::Network::with_inspector(htpb_core::NetworkConfig::new(mesh), fleet);
 
     // Phase 1: steady honest requests. The Trojan scales them to 60%,
     // which stays above the EWMA detector's 50% collapse threshold — the
@@ -189,8 +191,7 @@ fn probing_catches_soft_scaling_that_ewma_misses() {
     }
     let tampered = campaign.tampered_sources();
     assert!(!tampered.is_empty(), "probes caught nothing");
-    let report =
-        TrojanLocalizer::new(mesh, manager).localize(&tampered, &campaign.clean_sources());
+    let report = TrojanLocalizer::new(mesh, manager).localize(&tampered, &campaign.clean_sources());
     assert!(
         report.suspects.contains(&trojan),
         "probe localization missed the trojan: {:?}",

@@ -12,10 +12,10 @@ use htpb_core::{
 fn golden_analytic_infection_8x8_center() {
     let mesh = Mesh2d::new(8, 8).unwrap();
     let manager = mesh.center(); // node 36 at (4,4)
-    // Single Trojans at hand-verified positions.
-    // Node 35 = (3,4): west neighbour of the manager. Under XY it carries
-    // the requests of every source with x < 4 that ends its X-phase through
-    // (3,4)... exact value pinned below.
+                                 // Single Trojans at hand-verified positions.
+                                 // Node 35 = (3,4): west neighbour of the manager. Under XY it carries
+                                 // the requests of every source with x < 4 that ends its X-phase through
+                                 // (3,4)... exact value pinned below.
     let single = |node: u16| analytic_infection_rate(mesh, manager, &[NodeId(node)], None);
     // Manager router: everything.
     assert!((single(36) - 1.0).abs() < 1e-12);
@@ -36,10 +36,7 @@ fn golden_placement_metrics() {
     let p = Placement::generate(mesh, 4, &PlacementStrategy::CornerCluster, &[manager]);
     // Corner cluster of 4 = nodes (0,0),(1,0),(0,1) and one of the
     // distance-2 nodes; closest-first with id tie-break → 0,1,8,2.
-    assert_eq!(
-        p.nodes(),
-        &[NodeId(0), NodeId(1), NodeId(2), NodeId(8)]
-    );
+    assert_eq!(p.nodes(), &[NodeId(0), NodeId(1), NodeId(2), NodeId(8)]);
     let (wx, wy) = p.virtual_center(mesh).unwrap();
     assert!((wx - 0.75).abs() < 1e-12);
     assert!((wy - 0.25).abs() < 1e-12);
@@ -78,7 +75,6 @@ fn golden_simulated_equals_analytic_on_fixed_seed() {
     let exp = htpb_core::InfectionExperiment::new(64);
     let p = exp.placement(6, &PlacementStrategy::Random { seed: 2024 });
     let simulated = exp.measure(&p);
-    let analytic =
-        analytic_infection_rate(exp.mesh(), exp.manager_node(), p.nodes(), None);
+    let analytic = analytic_infection_rate(exp.mesh(), exp.manager_node(), p.nodes(), None);
     assert_eq!(simulated.to_bits(), analytic.to_bits());
 }

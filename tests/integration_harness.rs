@@ -1,0 +1,163 @@
+//! End-to-end tests of the `htpb-harness` orchestration subsystem: the
+//! parallel, cached reproduction must be **byte-identical** to the legacy
+//! sequential drivers, interrupted runs must resume from the cache, and a
+//! panicking job must not take the campaign down.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use htpb_harness::{
+    run_jobs, run_repro, run_repro_sequential, JobSpec, Journal, ReproPlan, ReproScale,
+    ResultCache, RunOptions,
+};
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("htpb-harness-it-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn artefact_files(dir: &Path) -> Vec<String> {
+    let mut names: Vec<String> = fs::read_dir(dir)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .filter(|n| n.ends_with(".tsv") || n == "SUMMARY.txt" || n == "plot.gp")
+        .collect();
+    names.sort();
+    names
+}
+
+#[test]
+fn parallel_cached_repro_is_byte_identical_to_sequential() {
+    let seq_dir = tmpdir("seq");
+    let par_dir = tmpdir("par");
+
+    run_repro_sequential(ReproScale::Tiny, &seq_dir).expect("sequential repro");
+    let opts = RunOptions {
+        workers: 4,
+        cache: Some(ResultCache::for_outdir(&par_dir).unwrap()),
+        progress: false,
+    };
+    let outcome = run_repro(ReproScale::Tiny, &par_dir, &opts).expect("harness repro");
+    assert_eq!(outcome.failed, 0);
+    assert_eq!(outcome.cache_hits, 0, "cold cache");
+
+    let names = artefact_files(&seq_dir);
+    assert!(
+        names.iter().any(|n| n.starts_with("fig3_")),
+        "artefacts missing: {names:?}"
+    );
+    assert_eq!(names, artefact_files(&par_dir), "artefact sets differ");
+    for name in &names {
+        let a = fs::read(seq_dir.join(name)).unwrap();
+        let b = fs::read(par_dir.join(name)).unwrap();
+        assert_eq!(a, b, "{name} differs between sequential and parallel runs");
+    }
+
+    // The journal recorded every job plus run bookkeeping.
+    let journal = fs::read_to_string(par_dir.join("journal.jsonl")).unwrap();
+    let job_lines = journal
+        .lines()
+        .filter(|l| l.contains("\"event\":\"job\""))
+        .count();
+    assert_eq!(job_lines, outcome.jobs);
+    assert!(journal.contains("\"event\":\"run_start\""));
+    assert!(journal.contains("\"event\":\"run_end\""));
+
+    let _ = fs::remove_dir_all(&seq_dir);
+    let _ = fs::remove_dir_all(&par_dir);
+}
+
+#[test]
+fn interrupted_run_resumes_only_missing_jobs() {
+    let dir = tmpdir("resume");
+    let cache = ResultCache::for_outdir(&dir).unwrap();
+    let plan = ReproPlan::plan(ReproScale::Tiny);
+    // The cheap fig3 section stands in for the whole campaign.
+    let jobs: Vec<JobSpec> = plan
+        .jobs
+        .iter()
+        .filter(|j| matches!(j, JobSpec::Fig3Point { .. }))
+        .cloned()
+        .collect();
+    assert!(jobs.len() >= 4);
+    let k = jobs.len() / 2;
+
+    // "Kill" the run after k jobs: only those made it into the cache.
+    let opts = |cache: ResultCache| RunOptions {
+        workers: 2,
+        cache: Some(cache),
+        progress: false,
+    };
+    let first = run_jobs(&jobs[..k], &opts(cache.clone()), &Journal::disabled());
+    assert!(first.iter().all(|r| !r.cache_hit));
+
+    // The rerun executes exactly the n-k missing jobs.
+    let second = run_jobs(&jobs, &opts(cache.clone()), &Journal::disabled());
+    let hits = second.iter().filter(|r| r.cache_hit).count();
+    assert_eq!(hits, k, "completed jobs must be served from the cache");
+    for (a, b) in first.iter().zip(&second) {
+        assert_eq!(
+            a.output.as_ref().unwrap(),
+            b.output.as_ref().unwrap(),
+            "cached result differs from computed result"
+        );
+    }
+
+    // A third run is all hits.
+    let third = run_jobs(&jobs, &opts(cache), &Journal::disabled());
+    assert!(third.iter().all(|r| r.cache_hit));
+
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn panicking_job_fails_alone_and_is_journalled() {
+    let dir = tmpdir("panic");
+    let journal_path = dir.join("journal.jsonl");
+    let journal = Journal::open(&journal_path).unwrap();
+    let jobs = vec![
+        JobSpec::Fig3Point {
+            nodes: 16,
+            corner: false,
+            ht_count: 2,
+            seeds: vec![0],
+        },
+        // 0 nodes is an invalid mesh: the experiment constructor panics.
+        JobSpec::Fig3Point {
+            nodes: 0,
+            corner: false,
+            ht_count: 2,
+            seeds: vec![0],
+        },
+        JobSpec::Fig3Point {
+            nodes: 16,
+            corner: true,
+            ht_count: 2,
+            seeds: vec![0],
+        },
+    ];
+    let reports = run_jobs(
+        &jobs,
+        &RunOptions {
+            workers: 2,
+            cache: None,
+            progress: false,
+        },
+        &journal,
+    );
+    assert!(reports[0].output.is_ok());
+    assert!(reports[1].output.is_err());
+    assert!(reports[2].output.is_ok());
+
+    let journal = fs::read_to_string(&journal_path).unwrap();
+    let failed_line = journal
+        .lines()
+        .find(|l| l.contains("\"ok\":false"))
+        .expect("failed job must be journalled");
+    assert!(failed_line.contains("fig3-n0-"), "{failed_line}");
+    assert!(failed_line.contains("\"error\":"), "{failed_line}");
+
+    let _ = fs::remove_dir_all(&dir);
+}

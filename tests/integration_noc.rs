@@ -119,7 +119,8 @@ fn adaptive_routing_still_infected_by_manager_ring() {
     );
     for src in mesh.iter_nodes() {
         if src != manager {
-            net.inject(Packet::power_request(src, manager, 500)).unwrap();
+            net.inject(Packet::power_request(src, manager, 500))
+                .unwrap();
         }
     }
     assert!(net.run_until_idle(200_000));

@@ -96,7 +96,10 @@ fn richer_budget_means_no_less_performance() {
 #[test]
 fn compute_bound_apps_request_more_power() {
     let mesh = Mesh2d::new(4, 4).unwrap();
-    let sys = SystemBuilder::new(mesh).workload(workload()).build().unwrap();
+    let sys = SystemBuilder::new(mesh)
+        .workload(workload())
+        .build()
+        .unwrap();
     let model = sys.model();
     let mut bs_req = None;
     let mut cn_req = None;

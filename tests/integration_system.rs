@@ -3,8 +3,8 @@
 
 use htpb_core::{
     density_eta, distance_rho, run_campaign, sensitivity_phi, virtual_center, AppRole, Benchmark,
-    CampaignConfig, DvfsTable, ManagerLocation, Mesh2d, Mix, NodeId, Placement,
-    PlacementStrategy, RoutingKind, SystemBuilder, Workload,
+    CampaignConfig, DvfsTable, ManagerLocation, Mesh2d, Mix, NodeId, Placement, PlacementStrategy,
+    RoutingKind, SystemBuilder, Workload,
 };
 
 #[test]
@@ -73,8 +73,7 @@ fn sensitivity_ranking_spans_the_suite() {
     // rank above memory-bound ones.
     let table = DvfsTable::default_six_level();
     let phi = |b: Benchmark| sensitivity_phi(&b.profile(), &table);
-    let mut ranked: Vec<(Benchmark, f64)> =
-        Benchmark::ALL.iter().map(|&b| (b, phi(b))).collect();
+    let mut ranked: Vec<(Benchmark, f64)> = Benchmark::ALL.iter().map(|&b| (b, phi(b))).collect();
     ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
     let names: Vec<&str> = ranked.iter().map(|(b, _)| b.name()).collect();
     let pos = |n: &str| names.iter().position(|x| *x == n).unwrap();
@@ -111,10 +110,8 @@ fn starvation_duty_controls_attack_severity() {
             .starvation_duty(duty)
             .budget_fraction(0.6)
             .build_with_inspector({
-                let mut fleet = htpb_core::TrojanFleet::new(
-                    &[mesh.center()],
-                    htpb_core::TamperRule::Zero,
-                );
+                let mut fleet =
+                    htpb_core::TrojanFleet::new(&[mesh.center()], htpb_core::TamperRule::Zero);
                 fleet.configure_all(&[], mesh.center(), true);
                 fleet
             })

@@ -1,0 +1,730 @@
+//! Offline vendored stand-in for the subset of the `proptest` crate this
+//! workspace uses. The build container has no crates.io access, so the
+//! real crate cannot be fetched; this reimplementation keeps the
+//! property-based test suites runnable.
+//!
+//! Scope (deliberately smaller than upstream):
+//! - random-input generation is deterministic per test (seeded from the
+//!   test name), so runs are reproducible and CI-stable;
+//! - there is **no shrinking** — a failing case reports the assertion
+//!   message, not a minimised input;
+//! - only the strategies the suites use exist: ranges, tuples, `Just`,
+//!   `prop_map`/`prop_filter`, `prop_oneof!`, `collection::{vec,
+//!   btree_set}`, `array::uniform4`, `option::of`, `sample::select` and
+//!   `any` for small scalar types.
+
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeSet;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+// ---------------------------------------------------------------------------
+// Deterministic test RNG (SplitMix64).
+// ---------------------------------------------------------------------------
+
+/// The generator handed to strategies. Deterministic: each test derives its
+/// seed from its own name.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the generator from an arbitrary label (the test name).
+    #[must_use]
+    pub fn from_label(label: &str) -> Self {
+        let mut state = 0xcbf2_9ce4_8422_2325u64;
+        for b in label.bytes() {
+            state ^= u64::from(b);
+            state = state.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng { state }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Errors and config.
+// ---------------------------------------------------------------------------
+
+/// Why a test case did not pass (subset of upstream's type).
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// A `prop_assert*!` failed: the property is violated.
+    Fail(String),
+    /// A `prop_assume!` rejected the input: resample, don't fail.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failing case with the given message.
+    #[must_use]
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A rejected (resampled) case with the given reason.
+    #[must_use]
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "property failed: {m}"),
+            TestCaseError::Reject(m) => write!(f, "input rejected: {m}"),
+        }
+    }
+}
+
+/// Runner configuration (subset of upstream's `ProptestConfig`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of passing cases required per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` passing cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Executes one property: keeps sampling until `config.cases` cases pass,
+/// panicking on the first failure. Driven by the `proptest!` macro.
+pub fn run_proptest<F>(config: &ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let mut rng = TestRng::from_label(name);
+    let mut passed = 0u32;
+    let mut rejected = 0u64;
+    let reject_budget = u64::from(config.cases) * 256;
+    while passed < config.cases {
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                assert!(
+                    rejected <= reject_budget,
+                    "{name}: too many prop_assume rejections ({rejected})"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("{name}: case {passed} failed: {msg}")
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategy core.
+// ---------------------------------------------------------------------------
+
+/// A generator of test values (subset of upstream's `Strategy`: generation
+/// only, no shrinking).
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keeps only values satisfying `pred`, resampling otherwise.
+    fn prop_filter<F>(self, reason: impl Into<String>, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            reason: reason.into(),
+            pred,
+        }
+    }
+
+    /// Type-erases the strategy (used by `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Always generates a clone of the same value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Debug, Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    reason: String,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..10_000 {
+            let v = self.inner.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter({}) rejected 10000 consecutive samples",
+            self.reason
+        )
+    }
+}
+
+/// Uniform choice between boxed strategies (backs `prop_oneof!`).
+pub struct Union<V> {
+    arms: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> Union<V> {
+    /// A union over the given arms; must be non-empty.
+    #[must_use]
+    pub fn new(arms: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let i = rng.below(self.arms.len() as u64) as usize;
+        self.arms[i].generate(rng)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scalar strategies: ranges and `any`.
+// ---------------------------------------------------------------------------
+
+/// Scalars that ranges and `any` can generate.
+pub trait SampleScalar: Copy {
+    /// Uniform sample in `[lo, hi)`.
+    fn sample_half_open(rng: &mut TestRng, lo: Self, hi: Self) -> Self;
+    /// Successor for inclusive upper bounds (saturating).
+    fn successor(self) -> Self;
+    /// Sample from the full domain (`any::<T>()`).
+    fn sample_any(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_sample_scalar_int {
+    ($($t:ty),*) => {$(
+        impl SampleScalar for $t {
+            fn sample_half_open(rng: &mut TestRng, lo: Self, hi: Self) -> Self {
+                let span = (hi as i128).wrapping_sub(lo as i128) as u128;
+                debug_assert!(span > 0, "empty range");
+                let draw = u128::from(rng.next_u64());
+                lo.wrapping_add(((draw * span) >> 64) as $t)
+            }
+            fn successor(self) -> Self { self.saturating_add(1) }
+            fn sample_any(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_scalar_int!(u8, u16, u32, u64, usize, i32, i64);
+
+impl SampleScalar for f64 {
+    fn sample_half_open(rng: &mut TestRng, lo: Self, hi: Self) -> Self {
+        lo + rng.unit_f64() * (hi - lo)
+    }
+    fn successor(self) -> Self {
+        self
+    }
+    fn sample_any(rng: &mut TestRng) -> Self {
+        // Finite values only: property suites here never need NaN/inf.
+        (rng.unit_f64() - 0.5) * 2e12
+    }
+}
+
+impl SampleScalar for bool {
+    fn sample_half_open(rng: &mut TestRng, lo: Self, hi: Self) -> Self {
+        let _ = (lo, hi);
+        rng.next_u64() & 1 == 1
+    }
+    fn successor(self) -> Self {
+        self
+    }
+    fn sample_any(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl<T: SampleScalar> Strategy for Range<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleScalar> Strategy for RangeInclusive<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::sample_half_open(rng, *self.start(), self.end().successor())
+    }
+}
+
+/// Strategy over a scalar's full domain — see [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: SampleScalar> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::sample_any(rng)
+    }
+}
+
+/// Generates arbitrary values of a scalar type.
+#[must_use]
+pub fn any<T: SampleScalar>() -> Any<T> {
+    Any(PhantomData)
+}
+
+// ---------------------------------------------------------------------------
+// Tuple strategies.
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($s,)+) = self;
+                ($($s.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+}
+
+// ---------------------------------------------------------------------------
+// Container strategies.
+// ---------------------------------------------------------------------------
+
+/// Sizes accepted by the collection strategies.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize, // exclusive
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n + 1 }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        SizeRange {
+            lo: r.start,
+            hi: r.end,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        SizeRange {
+            lo: *r.start(),
+            hi: r.end().saturating_add(1),
+        }
+    }
+}
+
+impl SizeRange {
+    fn sample(&self, rng: &mut TestRng) -> usize {
+        assert!(self.hi > self.lo, "empty collection size range");
+        self.lo + rng.below((self.hi - self.lo) as u64) as usize
+    }
+}
+
+/// `Vec` / `BTreeSet` strategies.
+pub mod collection {
+    use super::*;
+
+    /// Strategy for vectors of `elem` values with lengths from `size`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.sample(rng);
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for ordered sets; duplicate draws shrink the set, mirroring
+    /// upstream's "size is an upper bound under collisions" behaviour.
+    pub fn btree_set<S>(elem: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+
+    /// See [`btree_set`].
+    pub struct BTreeSetStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let target = self.size.sample(rng);
+            let mut set = BTreeSet::new();
+            let mut attempts = 0usize;
+            while set.len() < target && attempts < target * 32 + 32 {
+                set.insert(self.elem.generate(rng));
+                attempts += 1;
+            }
+            set
+        }
+    }
+}
+
+/// Fixed-size array strategies.
+pub mod array {
+    use super::*;
+
+    /// Strategy for `[V; 4]` arrays of independently drawn elements.
+    pub fn uniform4<S: Strategy>(elem: S) -> Uniform4<S> {
+        Uniform4 { elem }
+    }
+
+    /// See [`uniform4`].
+    pub struct Uniform4<S> {
+        elem: S,
+    }
+
+    impl<S: Strategy> Strategy for Uniform4<S> {
+        type Value = [S::Value; 4];
+        fn generate(&self, rng: &mut TestRng) -> [S::Value; 4] {
+            [
+                self.elem.generate(rng),
+                self.elem.generate(rng),
+                self.elem.generate(rng),
+                self.elem.generate(rng),
+            ]
+        }
+    }
+}
+
+/// `Option` strategies.
+pub mod option {
+    use super::*;
+
+    /// Strategy yielding `None` half the time, `Some(elem)` otherwise.
+    pub fn of<S: Strategy>(elem: S) -> OptionStrategy<S> {
+        OptionStrategy { elem }
+    }
+
+    /// See [`of`].
+    pub struct OptionStrategy<S> {
+        elem: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.next_u64() & 1 == 0 {
+                None
+            } else {
+                Some(self.elem.generate(rng))
+            }
+        }
+    }
+}
+
+/// Sampling from explicit value lists.
+pub mod sample {
+    use super::*;
+
+    /// Strategy choosing uniformly from `values` (must be non-empty).
+    pub fn select<T: Clone>(values: Vec<T>) -> Select<T> {
+        assert!(!values.is_empty(), "sample::select on empty list");
+        Select { values }
+    }
+
+    /// See [`select`].
+    #[derive(Debug, Clone)]
+    pub struct Select<T> {
+        values: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.values[rng.below(self.values.len() as u64) as usize].clone()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros.
+// ---------------------------------------------------------------------------
+
+/// Asserts a property inside a proptest body; on failure the case errors
+/// (rather than panicking) so the runner can attach context.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Equality form of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`)",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?} == {:?}`: {}",
+                l,
+                r,
+                format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+/// Rejects the current inputs without failing; the runner resamples.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that samples inputs and checks the body.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            $crate::run_proptest(&config, stringify!($name), |__proptest_rng| {
+                $(let $arg = $crate::Strategy::generate(&($strat), __proptest_rng);)+
+                $body
+                ::std::result::Result::Ok(())
+            });
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// The common imports (`use proptest::prelude::*`).
+pub mod prelude {
+    /// Path alias matching upstream's `prelude::prop`.
+    pub use crate as prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest, BoxedStrategy, Just,
+        ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn range_strategies_stay_in_bounds() {
+        let mut rng = crate::TestRng::from_label("bounds");
+        for _ in 0..500 {
+            let v = crate::Strategy::generate(&(3u32..9), &mut rng);
+            assert!((3..9).contains(&v));
+            let w = crate::Strategy::generate(&(2u16..=4), &mut rng);
+            assert!((2..=4).contains(&w));
+        }
+    }
+
+    #[test]
+    fn determinism_per_label() {
+        let a: Vec<u64> = {
+            let mut rng = crate::TestRng::from_label("x");
+            (0..8).map(|_| rng.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut rng = crate::TestRng::from_label("x");
+            (0..8).map(|_| rng.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_generates_and_checks(x in 0u32..100, flag in any::<bool>()) {
+            prop_assume!(x != 13);
+            prop_assert!(x < 100);
+            prop_assert_eq!(u32::from(flag) * 100 + x, if flag { 100 + x } else { x });
+        }
+
+        #[test]
+        fn oneof_and_maps(v in prop_oneof![Just(1u32), 5u32..8, any::<u32>().prop_map(|x| x % 2)]) {
+            prop_assert!(v == 1 || (5..8).contains(&v) || v < 2);
+        }
+    }
+}

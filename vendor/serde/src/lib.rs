@@ -1,0 +1,16 @@
+//! Offline vendored stand-in for the `serde` facade. The workspace only
+//! derives `Serialize`/`Deserialize` as forward-looking annotations; no
+//! code path performs serde serialisation, so the derives expand to
+//! nothing (see `vendor/serde_derive`) and no trait bounds are emitted.
+//! The marker traits below exist so `T: Serialize` bounds written by
+//! future code still name a real trait.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

@@ -1,0 +1,19 @@
+//! Offline vendored stand-in for `serde_derive`: the derive macros accept
+//! the same attribute grammar but expand to nothing. The workspace only
+//! ever *derives* `Serialize`/`Deserialize` (no code path serialises
+//! through serde), so empty expansions keep every type compiling without
+//! network access to crates.io.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
