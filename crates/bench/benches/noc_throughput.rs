@@ -6,8 +6,10 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 
 use htpb_core::{
-    Mesh2d, Network, NetworkConfig, NodeId, Packet, RoutingKind, TamperRule, TrojanFleet,
+    Mesh2d, Network, NetworkConfig, NodeId, Packet, PacketKind, RoutingKind, TamperRule,
+    TrojanFleet,
 };
+use htpb_noc::{TrafficPattern, UniformTraffic};
 
 fn hotspot_net(routing: RoutingKind) -> Network {
     let mesh = Mesh2d::new(8, 8).unwrap();
@@ -79,5 +81,41 @@ fn bench_inspector_overhead(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_drain, bench_inspector_overhead);
+/// The regime the active-set stepping targets: the paper's 16×16 platform
+/// under low uniform-random injection, where most routers are idle most
+/// cycles and per-cycle cost should track traffic, not mesh size.
+fn bench_low_injection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("noc_low_injection_16x16");
+    group.sample_size(10);
+    let mesh = Mesh2d::new(16, 16).unwrap();
+    for rate_milli in [10u32, 50] {
+        group.bench_function(format!("rate_0.{rate_milli:03}"), |b| {
+            b.iter(|| {
+                let mut net = Network::new(NetworkConfig::new(mesh));
+                let mut traffic = UniformTraffic::new(
+                    mesh,
+                    f64::from(rate_milli) / 1_000.0,
+                    PacketKind::Meta,
+                    42,
+                );
+                for cycle in 0..5_000 {
+                    for p in traffic.generate(cycle) {
+                        let _ = net.inject(p);
+                    }
+                    net.step();
+                }
+                net.run_until_idle(100_000);
+                net.stats().delivered_packets()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_drain,
+    bench_inspector_overhead,
+    bench_low_injection
+);
 criterion_main!(benches);

@@ -1,0 +1,137 @@
+//! Cycles-per-second meter for the NoC hot path.
+//!
+//! Unlike the Criterion benches (statistical, slow), this binary times a
+//! handful of fixed scenarios once and prints one JSON line per scenario —
+//! cheap enough to run in CI for trend-spotting and to capture the
+//! before/after numbers of `results/BENCH_noc.json`. Scenarios cover the
+//! regimes the active-set stepping is designed around: low uniform-random
+//! injection on the paper's 16×16 platform, bursty hotspot (`POWER_REQ`)
+//! epochs with idle gaps, an all-to-center drain, and a fully idle mesh.
+//!
+//! Usage: `noc_perf [--smoke]` — `--smoke` shrinks cycle counts ~10× for
+//! CI smoke runs.
+
+use std::time::Instant;
+
+use htpb_noc::{
+    HotspotTraffic, Mesh2d, Network, NetworkConfig, NodeId, Packet, TrafficPattern, UniformTraffic,
+};
+use htpb_trojan::{TamperRule, TrojanFleet};
+
+/// Best-of-N timing runs per scenario (the container may jitter).
+const RUNS: usize = 3;
+
+struct Outcome {
+    cycles: u64,
+    delivered: u64,
+    wall_s: f64,
+}
+
+fn time_scenario(mut run: impl FnMut() -> (u64, u64)) -> Outcome {
+    let mut best = Outcome {
+        cycles: 0,
+        delivered: 0,
+        wall_s: f64::INFINITY,
+    };
+    for _ in 0..RUNS {
+        let start = Instant::now();
+        let (cycles, delivered) = run();
+        let wall_s = start.elapsed().as_secs_f64();
+        if wall_s < best.wall_s {
+            best = Outcome {
+                cycles,
+                delivered,
+                wall_s,
+            };
+        }
+    }
+    best
+}
+
+fn report(scenario: &str, o: &Outcome) {
+    let cps = o.cycles as f64 / o.wall_s.max(1e-12);
+    println!(
+        "{{\"scenario\":\"{scenario}\",\"cycles\":{},\"delivered\":{},\"wall_s\":{:.6},\"cycles_per_sec\":{:.0}}}",
+        o.cycles, o.delivered, o.wall_s, cps
+    );
+}
+
+/// Drives a 16×16 mesh with a per-cycle traffic generator for `cycles`
+/// cycles, then drains. Returns (total cycles stepped, packets delivered).
+fn drive(mesh: Mesh2d, mut traffic: impl TrafficPattern, cycles: u64) -> (u64, u64) {
+    let mut net = Network::new(NetworkConfig::new(mesh));
+    for c in 0..cycles {
+        for p in traffic.generate(c) {
+            let _ = net.inject(p);
+        }
+        net.step();
+    }
+    net.run_until_idle(1_000_000);
+    (net.cycle(), net.stats().delivered_packets())
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let scale = if smoke { 10 } else { 1 };
+    let mesh16 = Mesh2d::new(16, 16).unwrap();
+    let mesh8 = Mesh2d::new(8, 8).unwrap();
+
+    // Low and moderate uniform-random injection on the paper's platform.
+    for (name, rate) in [("uniform16_rate001", 0.01), ("uniform16_rate005", 0.05)] {
+        let cycles = 20_000 / scale;
+        let o = time_scenario(|| {
+            drive(
+                mesh16,
+                UniformTraffic::new(mesh16, rate, htpb_noc::PacketKind::Meta, 42),
+                cycles,
+            )
+        });
+        report(name, &o);
+    }
+
+    // Bursty POWER_REQ epochs: one all-nodes burst to the manager every
+    // 2000 cycles, long idle gaps in between (the Fig. 5 traffic shape).
+    {
+        let cycles = 40_000 / scale;
+        let o = time_scenario(|| {
+            drive(
+                mesh16,
+                HotspotTraffic::new(mesh16, mesh16.center(), 2_000, 0, 7),
+                cycles,
+            )
+        });
+        report("hotspot16_epoch2k", &o);
+    }
+
+    // All-to-center drain on 8×8 (the original noc_throughput shape),
+    // with an armed 16-Trojan fleet so the inspector hot path is included.
+    {
+        let o = time_scenario(|| {
+            let nodes: Vec<NodeId> = (0..16).map(|i| NodeId(i * 4)).collect();
+            let mut fleet = TrojanFleet::new(&nodes, TamperRule::Zero);
+            fleet.configure_all(&[], mesh8.center(), true);
+            let mut net = Network::with_inspector(NetworkConfig::new(mesh8), fleet);
+            for _ in 0..4 {
+                for src in mesh8.iter_nodes() {
+                    if src != mesh8.center() {
+                        let _ = net.inject(Packet::power_request(src, mesh8.center(), 1_000));
+                    }
+                }
+            }
+            net.run_until_idle(1_000_000);
+            (net.cycle(), net.stats().delivered_packets())
+        });
+        report("hotspot8_drain_trojan", &o);
+    }
+
+    // Fully idle 16×16 mesh: the pure cost of stepping a quiet network.
+    {
+        let cycles = 2_000_000 / scale;
+        let o = time_scenario(|| {
+            let mut net = Network::new(NetworkConfig::new(mesh16));
+            net.step_n(cycles);
+            (net.cycle(), 0)
+        });
+        report("idle16_empty", &o);
+    }
+}

@@ -507,10 +507,48 @@ impl<I: PacketInspector> ManyCoreSystem<I> {
     }
 
     /// Runs `cycles` cycles.
+    ///
+    /// While no application is assigned anywhere, a cycle on which the
+    /// network is quiescent and neither an epoch boundary nor a scheduled
+    /// reply fires is a perfect no-op (unassigned tiles tick without
+    /// mutating state), so the loop fast-forwards the clock straight to the
+    /// next cycle where anything can happen. The moment a workload is
+    /// mapped — or any flit exists — every cycle is stepped for real.
     pub fn run(&mut self, cycles: u64) {
-        for _ in 0..cycles {
+        let end = self.net.cycle() + cycles;
+        let tiles_idle = self.tiles.iter().all(|t| !t.is_assigned());
+        while self.net.cycle() < end {
             self.step();
+            if !tiles_idle || !self.net.is_quiescent() {
+                continue;
+            }
+            let cycle = self.net.cycle();
+            let target = self.next_eventful_cycle(cycle).min(end);
+            if target > cycle {
+                self.net.skip_idle_cycles(target - cycle);
+            }
         }
+    }
+
+    /// The earliest cycle at or after `cycle` on which [`Self::step`] can do
+    /// observable work on an otherwise idle system: an epoch boundary
+    /// (request injection), the allocation point, or a due reply event.
+    fn next_eventful_cycle(&self, cycle: u64) -> u64 {
+        let epoch = self.config.epoch_cycles;
+        let alloc_phase = epoch * 6 / 10;
+        let phase = cycle % epoch;
+        let base = cycle - phase;
+        let mut next = if phase == 0 {
+            cycle
+        } else if phase <= alloc_phase {
+            base + alloc_phase
+        } else {
+            base + epoch
+        };
+        if let Some(&Reverse((fire, _, _, _))) = self.events.peek() {
+            next = next.min(fire.max(cycle));
+        }
+        next
     }
 
     /// Runs `epochs` whole budgeting epochs.
@@ -865,6 +903,50 @@ mod tests {
             )
             .build()
             .unwrap()
+    }
+
+    #[test]
+    fn idle_fast_forward_matches_stepped_run() {
+        // An empty workload leaves every tile unassigned, so `run` may
+        // fast-forward across dead cycles. The result must be
+        // indistinguishable from stepping every cycle.
+        let mesh = Mesh2d::new(4, 4).unwrap();
+        let build = || SystemBuilder::new(mesh).build().unwrap();
+        let mut fast = build();
+        fast.run(12_345);
+        let mut slow = build();
+        for _ in 0..12_345 {
+            slow.step();
+        }
+        assert_eq!(fast.cycle(), 12_345);
+        assert_eq!(fast.cycle(), slow.cycle());
+        assert_eq!(
+            fast.manager().epochs_run(),
+            slow.manager().epochs_run(),
+            "fast-forward must not skip allocation points"
+        );
+        assert_eq!(
+            fast.network().stats().fingerprint(),
+            slow.network().stats().fingerprint()
+        );
+    }
+
+    #[test]
+    fn fast_forward_disabled_with_assigned_tiles() {
+        // With a workload mapped, run() and per-cycle step() must remain
+        // identical too (no skipping happens; this pins the guard).
+        let mut fast = small_system();
+        fast.run(2_000);
+        let mut slow = small_system();
+        for _ in 0..2_000 {
+            slow.step();
+        }
+        assert_eq!(fast.cycle(), slow.cycle());
+        assert_eq!(
+            fast.network().stats().fingerprint(),
+            slow.network().stats().fingerprint()
+        );
+        assert_eq!(fast.power_draw_mw(), slow.power_draw_mw());
     }
 
     #[test]

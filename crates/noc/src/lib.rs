@@ -32,8 +32,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod active;
 mod error;
 mod flit;
+mod fnv;
 mod inspect;
 mod network;
 mod packet;
@@ -47,13 +49,16 @@ mod vc;
 
 pub use error::NocError;
 pub use flit::{Flit, FlitKind, FLITS_PER_DATA_PACKET, FLITS_PER_META_PACKET, FLIT_SIZE_BITS};
+pub use fnv::{Digest, FnvBuildHasher, FnvHashMap, FnvHasher};
 pub use inspect::{InspectOutcome, NullInspector, PacketInspector};
 pub use network::{DeliveredPacket, Network, NetworkConfig};
 pub use packet::{
     ActivationSignal, ConfigCommand, Packet, PacketKind, RawPacket, PACKET_HEADER_WORDS,
 };
 pub use router::{Router, RouterConfig};
-pub use routing::{OddEvenRouting, RoutingAlgorithm, RoutingKind, WestFirstRouting, XyRouting};
+pub use routing::{
+    OddEvenRouting, RouteCandidates, RoutingAlgorithm, RoutingKind, WestFirstRouting, XyRouting,
+};
 pub use stats::{LatencyHistogram, NetworkStats};
 pub use topology::{Coord, Direction, Mesh2d, NodeId};
 pub use trace::{TraceBuffer, TraceEvent};

@@ -1,7 +1,9 @@
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
+use crate::active::{ActiveSet, BitsIter};
 use crate::error::NocError;
 use crate::flit::Flit;
+use crate::fnv::FnvHashMap;
 use crate::inspect::{NullInspector, PacketInspector};
 use crate::packet::{Packet, PacketKind};
 use crate::router::{Router, RouterConfig};
@@ -99,6 +101,22 @@ struct PacketMeta {
 ///
 /// The inspector hook (the Trojan attachment point, Fig. 2b) runs once per
 /// packet per router, immediately before routing computation.
+///
+/// # Active-set stepping
+///
+/// Per-cycle cost is proportional to *activity*, not mesh size: each stage
+/// walks an incrementally-maintained worklist ([`ActiveSet`]) — routers
+/// holding flits, occupied link slots, nodes with queued injections —
+/// instead of scanning every router × port × VC. The worklists iterate in
+/// ascending index order, which is exactly the order the original dense
+/// scans used, so the optimisation is observably invisible (locked by the
+/// golden-digest tests in `tests/determinism_golden.rs`). Invariants,
+/// restored at the end of every [`Network::step`]:
+///
+/// * `active` = set of routers with `buffered_flits() > 0`;
+/// * `links_occupied` = set of link indices with `links[i].is_some()`;
+/// * `inject_busy` = set of nodes with a non-empty injection queue, and
+///   `queued_flits` = total flits across all injection queues.
 pub struct Network<I: PacketInspector = NullInspector> {
     mesh: Mesh2d,
     routing: Box<dyn RoutingAlgorithm>,
@@ -110,15 +128,30 @@ pub struct Network<I: PacketInspector = NullInspector> {
     /// Local input VC currently receiving an in-progress injected packet.
     injection_vc: Vec<Option<usize>>,
     injection_capacity: usize,
-    in_flight: HashMap<u64, PacketMeta>,
+    in_flight: FnvHashMap<u64, PacketMeta>,
     /// Head packets of partially ejected multi-flit packets.
-    pending_heads: HashMap<u64, Packet>,
+    pending_heads: FnvHashMap<u64, Packet>,
     ejected: Vec<DeliveredPacket>,
     inspector: I,
     stats: NetworkStats,
     trace: Option<TraceBuffer>,
     cycle: u64,
     next_packet_id: u64,
+    /// Routers currently holding at least one buffered flit.
+    active: ActiveSet,
+    /// Link slots (`node * 4 + dir`) currently carrying a flit.
+    links_occupied: ActiveSet,
+    /// Nodes whose injection queue is non-empty.
+    inject_busy: ActiveSet,
+    /// Total flits waiting across all injection queues.
+    queued_flits: usize,
+    /// `neighbor_tbl[node * 4 + dir]`: the node across that link, flattened
+    /// once at construction so the hot loops never recompute coordinates.
+    neighbor_tbl: Vec<Option<NodeId>>,
+    /// Reusable snapshot buffer for per-stage worklist iteration.
+    scratch: Vec<u32>,
+    /// Reusable buffer for deferred credit returns in switch traversal.
+    credit_scratch: Vec<(NodeId, Direction, usize, bool)>,
 }
 
 impl Network<NullInspector> {
@@ -145,14 +178,21 @@ impl<I: PacketInspector> Network<I> {
             injection_queues: (0..nodes).map(|_| VecDeque::new()).collect(),
             injection_vc: vec![None; nodes],
             injection_capacity: config.injection_queue_capacity,
-            in_flight: HashMap::new(),
-            pending_heads: HashMap::new(),
+            in_flight: FnvHashMap::default(),
+            pending_heads: FnvHashMap::default(),
             ejected: Vec::new(),
             inspector,
             stats: NetworkStats::default(),
             trace: config.trace_capacity.map(TraceBuffer::new),
             cycle: 0,
             next_packet_id: 0,
+            active: ActiveSet::new(nodes),
+            links_occupied: ActiveSet::new(nodes * 4),
+            inject_busy: ActiveSet::new(nodes),
+            queued_flits: 0,
+            neighbor_tbl: config.mesh.neighbor_table(),
+            scratch: Vec::new(),
+            credit_scratch: Vec::new(),
         }
     }
 
@@ -231,9 +271,13 @@ impl<I: PacketInspector> Network<I> {
         }
         let id = self.next_packet_id;
         self.next_packet_id += 1;
+        let mut flits = 0usize;
         for flit in Flit::packetize(packet, id, self.cycle) {
             queue.push_back(flit);
+            flits += 1;
         }
+        self.queued_flits += flits;
+        self.inject_busy.insert(packet.src().0 as usize);
         self.in_flight.insert(
             id,
             PacketMeta {
@@ -260,14 +304,32 @@ impl<I: PacketInspector> Network<I> {
         std::mem::take(&mut self.ejected)
     }
 
-    /// Whether no flit is buffered, queued, or in flight anywhere.
+    /// Whether no flit is buffered, queued, or in flight anywhere. O(1) —
+    /// both counters are maintained incrementally.
     #[must_use]
     pub fn is_idle(&self) -> bool {
-        self.in_flight.is_empty() && self.injection_queues.iter().all(VecDeque::is_empty)
+        self.in_flight.is_empty() && self.queued_flits == 0
+    }
+
+    /// Whether every pipeline stage would be a no-op this cycle: no router
+    /// buffers a flit, no link carries one, no injection queue waits. O(1).
+    ///
+    /// Equivalent to [`Self::is_idle`] (every in-flight packet keeps at
+    /// least its tail flit somewhere), but phrased in terms of the per-stage
+    /// worklists so [`Self::step`] and [`Self::skip_idle_cycles`] can rely
+    /// on it directly.
+    #[must_use]
+    pub fn is_quiescent(&self) -> bool {
+        self.active.is_empty() && self.links_occupied.is_empty() && self.queued_flits == 0
     }
 
     /// Advances the network by one cycle.
     pub fn step(&mut self) {
+        if self.is_quiescent() {
+            // Every stage is a no-op on a quiet network; only time passes.
+            self.cycle += 1;
+            return;
+        }
         self.stage_link_delivery();
         self.stage_switch_traversal();
         self.stage_injection();
@@ -278,9 +340,27 @@ impl<I: PacketInspector> Network<I> {
 
     /// Advances the network `n` cycles.
     pub fn step_n(&mut self, n: u64) {
+        if self.is_quiescent() {
+            self.cycle += n;
+            return;
+        }
         for _ in 0..n {
             self.step();
         }
+    }
+
+    /// Advances the cycle counter by `n` without touching the pipeline.
+    ///
+    /// Only legal while [`Self::is_quiescent`] holds — each skipped cycle
+    /// is then observably identical to a real [`Self::step`], which would
+    /// no-op anyway. Lets callers that know the next injection time (e.g.
+    /// an epoch-driven power manager) fast-forward across dead time.
+    pub fn skip_idle_cycles(&mut self, n: u64) {
+        debug_assert!(
+            self.is_quiescent(),
+            "skip_idle_cycles called on a busy network"
+        );
+        self.cycle += n;
     }
 
     /// Steps until the network drains completely or `max_cycles` elapse.
@@ -306,29 +386,37 @@ impl<I: PacketInspector> Network<I> {
     /// per cycle, credits still returned upstream).
     fn stage_switch_traversal(&mut self) {
         // Deferred credit returns: (upstream node, upstream out dir, vc, free_vc).
-        let mut credit_returns: Vec<(NodeId, Direction, usize, bool)> = Vec::new();
-        for ri in 0..self.routers.len() {
-            if self.routers[ri].buffered_flits() == 0 {
-                continue;
-            }
+        let mut credit_returns = std::mem::take(&mut self.credit_scratch);
+        credit_returns.clear();
+        // Within this stage routers only *lose* flits (pushes happen in link
+        // delivery and injection), so a stage-entry snapshot of the active
+        // set visits exactly the routers the dense scan's `buffered > 0`
+        // filter would have, in the same ascending order.
+        let mut worklist = std::mem::take(&mut self.scratch);
+        self.active.snapshot_into(&mut worklist);
+        for &ri in &worklist {
+            let ri = ri as usize;
             let node = NodeId(ri as u16);
-            // Sink stage for dropped packets.
-            for in_port in 0..5 {
-                for vc in 0..self.routers[ri].config().vcs {
-                    if !self.routers[ri].inputs[in_port][vc].dropping {
-                        continue;
-                    }
-                    let Some(flit) = self.routers[ri].inputs[in_port][vc].pop() else {
-                        continue;
-                    };
-                    if let Some(up_out) = Direction::ALL[in_port].opposite() {
-                        if let Some(up) = self.mesh.neighbor(node, Direction::ALL[in_port]) {
-                            credit_returns.push((up, up_out, vc, flit.kind.is_tail()));
+            // Sink stage for dropped packets — gated on the O(1) dropping
+            // counter; routers with nothing to sink skip the 5 × VCs scan.
+            if self.routers[ri].has_dropping() {
+                for in_port in 0..5 {
+                    for vc in 0..self.routers[ri].config().vcs {
+                        if !self.routers[ri].inputs[in_port][vc].dropping {
+                            continue;
                         }
-                    }
-                    if flit.kind.is_tail() {
-                        self.in_flight.remove(&flit.packet_id);
-                        self.stats.on_packet_dropped();
+                        let Some(flit) = self.routers[ri].pop_flit(in_port, vc) else {
+                            continue;
+                        };
+                        if let Some(up_out) = Direction::ALL[in_port].opposite() {
+                            if let Some(up) = self.neighbor_tbl[ri * 4 + in_port] {
+                                credit_returns.push((up, up_out, vc, flit.kind.is_tail()));
+                            }
+                        }
+                        if flit.kind.is_tail() {
+                            self.in_flight.remove(&flit.packet_id);
+                            self.stats.on_packet_dropped();
+                        }
                     }
                 }
             }
@@ -343,13 +431,19 @@ impl<I: PacketInspector> Network<I> {
                 let vcs = self.routers[ri].config().vcs;
                 let slots = 5 * vcs;
                 let start = self.routers[ri].sa_rr[od];
+                // Round-robin over *occupied* slots only: slots >= start
+                // ascending, then the wrap-around below start — the same
+                // visit order as the dense `(start + off) % slots` scan,
+                // minus the empty slots it could never have granted.
+                let occ = self.routers[ri].occupied_slots();
+                let low_mask = (1u64 << start) - 1;
                 let mut granted = None;
-                for off in 0..slots {
-                    let slot = (start + off) % slots;
+                for slot in BitsIter(occ & !low_mask).chain(BitsIter(occ & low_mask)) {
                     let (in_port, vc) = (slot / vcs, slot % vcs);
                     let r = &self.routers[ri];
                     let ivc = &r.inputs[in_port][vc];
-                    if ivc.is_empty() || ivc.route != Some(out_dir) {
+                    debug_assert!(!ivc.is_empty(), "occupied slot holds no flit");
+                    if ivc.route != Some(out_dir) {
                         continue;
                     }
                     // A flit spends at least one full cycle buffered before
@@ -372,12 +466,12 @@ impl<I: PacketInspector> Network<I> {
                 self.routers[ri].sa_rr[od] = (in_port * vcs + vc + 1) % slots;
                 self.routers[ri].flits_forwarded += 1;
                 let out_vc = self.routers[ri].inputs[in_port][vc].out_vc;
-                let flit = self.routers[ri].inputs[in_port][vc]
-                    .pop()
+                let flit = self.routers[ri]
+                    .pop_flit(in_port, vc)
                     .expect("granted VC nonempty");
                 // Return a credit upstream for the buffer slot just freed.
                 if let Some(up_out) = Direction::ALL[in_port].opposite() {
-                    if let Some(up) = self.mesh.neighbor(node, Direction::ALL[in_port]) {
+                    if let Some(up) = self.neighbor_tbl[ri * 4 + in_port] {
                         credit_returns.push((up, up_out, vc, flit.kind.is_tail()));
                     }
                 }
@@ -400,10 +494,15 @@ impl<I: PacketInspector> Network<I> {
                     let li = self.link_index(node, out_dir);
                     debug_assert!(self.links[li].is_none());
                     self.links[li] = Some((flit, ovc));
+                    self.links_occupied.insert(li);
                 }
             }
+            if self.routers[ri].buffered_flits() == 0 {
+                self.active.remove(ri);
+            }
         }
-        for (up, up_out, vc, _tail) in credit_returns {
+        self.scratch = worklist;
+        for &(up, up_out, vc, _tail) in &credit_returns {
             let r = &mut self.routers[up.0 as usize];
             r.outputs[up_out.index()].credits[vc] += 1;
             debug_assert!(
@@ -411,42 +510,46 @@ impl<I: PacketInspector> Network<I> {
                 "credit overflow"
             );
         }
+        self.credit_scratch = credit_returns;
     }
 
     /// Stage 2a: flits on links land in downstream input buffers.
     fn stage_link_delivery(&mut self) {
-        for ri in 0..self.routers.len() {
-            let node = NodeId(ri as u16);
-            for dir in [
-                Direction::North,
-                Direction::South,
-                Direction::East,
-                Direction::West,
-            ] {
-                let li = self.link_index(node, dir);
-                let Some((flit, ovc)) = self.links[li].take() else {
-                    continue;
-                };
-                let dst_node = self
-                    .mesh
-                    .neighbor(node, dir)
-                    .expect("link endpoints are mesh neighbours");
-                let in_port = dir.opposite().expect("non-local link").index();
-                let now = self.cycle;
-                let vc = &mut self.routers[dst_node.0 as usize].inputs[in_port][ovc];
-                vc.push(flit, now);
-            }
+        if self.links_occupied.is_empty() {
+            return;
         }
+        // Ascending link index == (node ascending, direction in N/S/E/W
+        // index order) — the exact order of the dense double loop.
+        let mut worklist = std::mem::take(&mut self.scratch);
+        self.links_occupied.snapshot_into(&mut worklist);
+        let now = self.cycle;
+        for &li in &worklist {
+            let li = li as usize;
+            let (flit, ovc) = self.links[li].take().expect("occupied link holds a flit");
+            self.links_occupied.remove(li);
+            let dst_node = self.neighbor_tbl[li].expect("link endpoints are mesh neighbours");
+            let in_port = Direction::OPPOSITE_INDEX[li % 4];
+            let di = dst_node.0 as usize;
+            self.routers[di].push_flit(in_port, ovc, flit, now);
+            self.active.insert(di);
+        }
+        self.scratch = worklist;
     }
 
     /// Stage 2b: injection — at most one flit per node per cycle moves from
     /// the injection queue into a free local-input VC.
     fn stage_injection(&mut self) {
+        if self.inject_busy.is_empty() {
+            return;
+        }
         let now = self.cycle;
-        for ri in 0..self.routers.len() {
-            let Some(front) = self.injection_queues[ri].front() else {
-                continue;
-            };
+        let mut worklist = std::mem::take(&mut self.scratch);
+        self.inject_busy.snapshot_into(&mut worklist);
+        for &ri in &worklist {
+            let ri = ri as usize;
+            let front = self.injection_queues[ri]
+                .front()
+                .expect("inject_busy tracks non-empty queues");
             let local = Direction::Local.index();
             let target_vc = if front.kind.is_head() {
                 // A new packet needs an idle local VC.
@@ -463,57 +566,74 @@ impl<I: PacketInspector> Network<I> {
                     None => continue,
                 }
             };
-            let vc = &mut self.routers[ri].inputs[local][target_vc];
-            if !vc.has_space() {
+            if !self.routers[ri].inputs[local][target_vc].has_space() {
                 continue;
             }
             let flit = self.injection_queues[ri]
                 .pop_front()
                 .expect("front checked");
+            self.queued_flits -= 1;
+            if self.injection_queues[ri].is_empty() {
+                self.inject_busy.remove(ri);
+            }
             self.injection_vc[ri] = if flit.kind.is_tail() {
                 None
             } else {
                 Some(target_vc)
             };
-            vc.push(flit, now);
+            self.routers[ri].push_flit(local, target_vc, flit, now);
+            self.active.insert(ri);
         }
+        self.scratch = worklist;
     }
 
     /// Stage 3: VC allocation — input VCs that know their output port
     /// acquire a free downstream VC.
     fn stage_vc_allocation(&mut self) {
-        for ri in 0..self.routers.len() {
-            if self.routers[ri].buffered_flits() == 0 {
-                continue;
-            }
-            for in_port in 0..5 {
-                for vc in 0..self.routers[ri].config().vcs {
-                    let ivc = &self.routers[ri].inputs[in_port][vc];
-                    let Some(route) = ivc.route else { continue };
-                    if route == Direction::Local || ivc.out_vc.is_some() || ivc.is_empty() {
-                        continue;
-                    }
-                    let od = route.index();
-                    if let Some(free) = self.routers[ri].outputs[od].free_vc() {
-                        self.routers[ri].outputs[od].allocated[free] = true;
-                        self.routers[ri].inputs[in_port][vc].out_vc = Some(free);
-                    }
+        // VA moves no flits, so the active snapshot equals the dense scan's
+        // `buffered > 0` filter throughout the stage.
+        let mut worklist = std::mem::take(&mut self.scratch);
+        self.active.snapshot_into(&mut worklist);
+        for &ri in &worklist {
+            let ri = ri as usize;
+            let vcs = self.routers[ri].config().vcs;
+            // Ascending slot order == the dense (port, vc) double loop;
+            // empty VCs were skipped by it anyway.
+            for slot in BitsIter(self.routers[ri].occupied_slots()) {
+                let (in_port, vc) = (slot / vcs, slot % vcs);
+                let ivc = &self.routers[ri].inputs[in_port][vc];
+                let Some(route) = ivc.route else { continue };
+                if route == Direction::Local || ivc.out_vc.is_some() {
+                    continue;
+                }
+                let od = route.index();
+                if let Some(free) = self.routers[ri].outputs[od].free_vc() {
+                    self.routers[ri].outputs[od].allocated[free] = true;
+                    self.routers[ri].inputs[in_port][vc].out_vc = Some(free);
                 }
             }
         }
+        self.scratch = worklist;
     }
 
     /// Stage 4: routing computation, preceded by the inspection hook — the
     /// point where an implanted Trojan reads and possibly rewrites the
     /// packet (Fig. 2b).
     fn stage_routing_and_inspection(&mut self) {
-        for ri in 0..self.routers.len() {
-            if self.routers[ri].buffered_flits() == 0 {
-                continue;
-            }
+        // RC moves no flits either (the inspector only sees the packet
+        // header), so the same snapshot argument as VA applies.
+        let mut worklist = std::mem::take(&mut self.scratch);
+        self.active.snapshot_into(&mut worklist);
+        for &ri in &worklist {
+            let ri = ri as usize;
             let node = NodeId(ri as u16);
-            for in_port in 0..5 {
-                for vc in 0..self.routers[ri].config().vcs {
+            let vcs = self.routers[ri].config().vcs;
+            // Ascending slot order == the dense (port, vc) double loop; a VC
+            // with no flit has no head to route, so the dense scan skipped
+            // it via the `front` check.
+            for slot in BitsIter(self.routers[ri].occupied_slots()) {
+                let (in_port, vc) = (slot / vcs, slot % vcs);
+                {
                     let ivc = &mut self.routers[ri].inputs[in_port][vc];
                     if ivc.route.is_some() || ivc.dropping {
                         continue;
@@ -533,9 +653,8 @@ impl<I: PacketInspector> Network<I> {
                         if outcome.dropped {
                             // The whole packet will be sunk here; no route is
                             // ever computed for it.
-                            let ivc = &mut self.routers[ri].inputs[in_port][vc];
-                            ivc.dropping = true;
-                            ivc.inspected = true;
+                            self.routers[ri].mark_dropping(in_port, vc);
+                            self.routers[ri].inputs[in_port][vc].inspected = true;
                             continue;
                         }
                         if outcome.modified {
@@ -582,6 +701,7 @@ impl<I: PacketInspector> Network<I> {
                 }
             }
         }
+        self.scratch = worklist;
     }
 
     fn eject(&mut self, flit: Flit) {

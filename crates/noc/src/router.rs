@@ -1,3 +1,4 @@
+use crate::flit::Flit;
 use crate::topology::{Direction, NodeId};
 use crate::vc::{OutputPort, VirtualChannel};
 
@@ -45,12 +46,37 @@ pub struct Router {
     /// Packet headers that ran routing computation here (= packets that
     /// transited or terminated at this router).
     pub(crate) packets_routed: u64,
+    /// Total flits across all input VCs, maintained incrementally by
+    /// [`Router::push_flit`]/[`Router::pop_flit`] so
+    /// [`Router::buffered_flits`] is an O(1) read instead of a 20-VC scan.
+    buffered: usize,
+    /// Input VCs currently sinking a dropped packet, maintained by
+    /// [`Router::mark_dropping`] and [`Router::pop_flit`]; lets the switch
+    /// stage skip its drop-sink scan on the (overwhelmingly common) routers
+    /// with nothing to sink.
+    dropping_vcs: usize,
+    /// Bitmask over input-VC slots (`port * vcs + vc`) that currently hold
+    /// at least one flit, maintained by [`Router::push_flit`] and
+    /// [`Router::pop_flit`]. The pipeline stages iterate this instead of
+    /// scanning all 5 × `vcs` buffers; empty VCs can never be granted,
+    /// routed or allocated, so skipping them is invisible.
+    occupied: u64,
 }
 
 impl Router {
     /// Creates an idle router with full credits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.vcs > 12`: the occupancy bitmask packs all
+    /// 5 × `vcs` input-VC slots into one 64-bit word (Table I uses 4).
     #[must_use]
     pub fn new(id: NodeId, config: RouterConfig) -> Self {
+        assert!(
+            config.vcs * 5 <= 64,
+            "at most 12 VCs per port supported (got {})",
+            config.vcs
+        );
         Router {
             id,
             config,
@@ -67,6 +93,9 @@ impl Router {
             sa_rr: vec![0; 5],
             flits_forwarded: 0,
             packets_routed: 0,
+            buffered: 0,
+            dropping_vcs: 0,
+            occupied: 0,
         }
     }
 
@@ -89,20 +118,93 @@ impl Router {
     }
 
     /// Total buffered flits across all input VCs (used by congestion-aware
-    /// diagnostics and tests).
+    /// diagnostics, the network's active-set bookkeeping and tests).
+    ///
+    /// An O(1) counter read; debug builds cross-check it against a full
+    /// rescan of all 5 × `vcs` buffers so any drift in the incremental
+    /// accounting fails loudly.
     #[must_use]
     pub fn buffered_flits(&self) -> usize {
-        self.inputs
-            .iter()
-            .flat_map(|port| port.iter())
-            .map(|vc| vc.len())
-            .sum()
+        debug_assert_eq!(
+            self.buffered,
+            self.inputs
+                .iter()
+                .flat_map(|port| port.iter())
+                .map(|vc| vc.len())
+                .sum::<usize>(),
+            "incremental flit counter drifted from buffer contents"
+        );
+        self.buffered
     }
 
-    /// Whether the router holds no flits at all.
+    /// Whether the router holds no flits at all. O(1).
     #[must_use]
     pub fn is_idle(&self) -> bool {
         self.buffered_flits() == 0
+    }
+
+    /// Pushes an arriving flit into `inputs[dir][vc]`, keeping the
+    /// incremental flit counter in sync. All buffer writes must go through
+    /// here (or the counter drifts).
+    #[inline]
+    pub(crate) fn push_flit(&mut self, dir: usize, vc: usize, flit: Flit, now: u64) {
+        self.inputs[dir][vc].push(flit, now);
+        self.buffered += 1;
+        self.occupied |= 1 << (dir * self.config.vcs + vc);
+    }
+
+    /// Pops the head flit of `inputs[dir][vc]`, keeping the incremental
+    /// flit and dropping-VC counters in sync (a tail pop clears the VC's
+    /// dropping flag inside [`VirtualChannel::pop`]).
+    #[inline]
+    pub(crate) fn pop_flit(&mut self, dir: usize, vc: usize) -> Option<Flit> {
+        let channel = &mut self.inputs[dir][vc];
+        let was_dropping = channel.dropping;
+        let flit = channel.pop()?;
+        self.buffered -= 1;
+        if channel.is_empty() {
+            self.occupied &= !(1 << (dir * self.config.vcs + vc));
+        }
+        if was_dropping && !channel.dropping {
+            self.dropping_vcs -= 1;
+        }
+        Some(flit)
+    }
+
+    /// Bitmask of input-VC slots (`port * vcs + vc`) holding flits; debug
+    /// builds cross-check it against the buffers.
+    #[inline]
+    pub(crate) fn occupied_slots(&self) -> u64 {
+        #[cfg(debug_assertions)]
+        {
+            let mut rescan = 0u64;
+            for (port, vcs) in self.inputs.iter().enumerate() {
+                for (vc, ch) in vcs.iter().enumerate() {
+                    if !ch.is_empty() {
+                        rescan |= 1 << (port * self.config.vcs + vc);
+                    }
+                }
+            }
+            debug_assert_eq!(self.occupied, rescan, "occupancy mask drifted");
+        }
+        self.occupied
+    }
+
+    /// Marks `inputs[dir][vc]` as sinking a dropped packet. Idempotent.
+    #[inline]
+    pub(crate) fn mark_dropping(&mut self, dir: usize, vc: usize) {
+        let channel = &mut self.inputs[dir][vc];
+        if !channel.dropping {
+            channel.dropping = true;
+            self.dropping_vcs += 1;
+        }
+    }
+
+    /// Whether any input VC is currently sinking a dropped packet. Gates
+    /// the switch stage's drop-sink scan.
+    #[inline]
+    pub(crate) fn has_dropping(&self) -> bool {
+        self.dropping_vcs > 0
     }
 
     /// Free credit count on an output port, summed over VCs. Adaptive
@@ -129,6 +231,47 @@ impl Router {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::packet::{Packet, PacketKind};
+
+    #[test]
+    fn flit_counter_tracks_push_and_pop() {
+        let mut r = Router::new(NodeId(0), RouterConfig::default());
+        let flits = Flit::packetize(Packet::new(NodeId(0), NodeId(1), PacketKind::Data, 7), 1, 0);
+        let n = flits.len();
+        for (i, f) in flits.into_iter().enumerate() {
+            r.push_flit(Direction::North.index(), 2, f, i as u64);
+            assert_eq!(r.buffered_flits(), i + 1);
+        }
+        assert!(!r.is_idle());
+        for i in (0..n).rev() {
+            assert!(r.pop_flit(Direction::North.index(), 2).is_some());
+            assert_eq!(r.buffered_flits(), i);
+        }
+        assert!(r.is_idle());
+        assert!(r.pop_flit(Direction::North.index(), 2).is_none());
+        assert_eq!(r.buffered_flits(), 0);
+    }
+
+    #[test]
+    fn dropping_counter_clears_on_tail_pop() {
+        let mut r = Router::new(NodeId(0), RouterConfig::default());
+        let flits = Flit::packetize(Packet::new(NodeId(0), NodeId(1), PacketKind::Data, 7), 1, 0);
+        let n = flits.len();
+        for f in flits {
+            r.push_flit(Direction::East.index(), 0, f, 0);
+        }
+        assert!(!r.has_dropping());
+        r.mark_dropping(Direction::East.index(), 0);
+        r.mark_dropping(Direction::East.index(), 0); // idempotent
+        assert!(r.has_dropping());
+        for _ in 0..n - 1 {
+            r.pop_flit(Direction::East.index(), 0);
+            assert!(r.has_dropping());
+        }
+        r.pop_flit(Direction::East.index(), 0); // tail clears the flag
+        assert!(!r.has_dropping());
+        assert!(r.is_idle());
+    }
 
     #[test]
     fn default_config_matches_table1() {

@@ -37,6 +37,78 @@ impl RoutingKind {
     }
 }
 
+/// Candidate output directions computed by one routing call, in preference
+/// order.
+///
+/// Routing computation runs once per packet per hop — squarely on the
+/// simulator's hot path — and a minimal mesh route never offers more than
+/// four directions, so the candidates live inline instead of in a per-call
+/// heap `Vec`. Dereferences to a `[Direction]` slice, so call sites index
+/// and iterate it like the `Vec` it replaced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouteCandidates {
+    dirs: [Direction; 4],
+    len: u8,
+}
+
+impl Default for RouteCandidates {
+    fn default() -> Self {
+        RouteCandidates::new()
+    }
+}
+
+impl RouteCandidates {
+    /// An empty candidate list.
+    #[must_use]
+    pub const fn new() -> Self {
+        RouteCandidates {
+            dirs: [Direction::Local; 4],
+            len: 0,
+        }
+    }
+
+    /// A list holding a single candidate.
+    #[must_use]
+    pub fn single(dir: Direction) -> Self {
+        let mut c = RouteCandidates::new();
+        c.push(dir);
+        c
+    }
+
+    /// Appends a candidate (push order is preference order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than four candidates are pushed.
+    pub fn push(&mut self, dir: Direction) {
+        self.dirs[usize::from(self.len)] = dir;
+        self.len += 1;
+    }
+
+    /// The candidates as a slice, in preference order.
+    #[must_use]
+    pub fn as_slice(&self) -> &[Direction] {
+        &self.dirs[..usize::from(self.len)]
+    }
+}
+
+impl std::ops::Deref for RouteCandidates {
+    type Target = [Direction];
+
+    fn deref(&self) -> &[Direction] {
+        self.as_slice()
+    }
+}
+
+impl<'a> IntoIterator for &'a RouteCandidates {
+    type Item = &'a Direction;
+    type IntoIter = std::slice::Iter<'a, Direction>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
 /// A mesh routing function.
 ///
 /// Implementations must be minimal (every returned direction reduces the
@@ -56,7 +128,7 @@ pub trait RoutingAlgorithm: Send {
         current: NodeId,
         dst: NodeId,
         in_dir: Direction,
-    ) -> Vec<Direction>;
+    ) -> RouteCandidates;
 
     /// A short human-readable name for logs and bench output.
     fn name(&self) -> &'static str;
@@ -74,21 +146,20 @@ impl RoutingAlgorithm for XyRouting {
         current: NodeId,
         dst: NodeId,
         _in_dir: Direction,
-    ) -> Vec<Direction> {
+    ) -> RouteCandidates {
         let c = mesh.coord(current);
         let d = mesh.coord(dst);
-        if c == d {
-            return vec![Direction::Local];
-        }
-        if d.x > c.x {
-            vec![Direction::East]
+        RouteCandidates::single(if c == d {
+            Direction::Local
+        } else if d.x > c.x {
+            Direction::East
         } else if d.x < c.x {
-            vec![Direction::West]
+            Direction::West
         } else if d.y > c.y {
-            vec![Direction::South]
+            Direction::South
         } else {
-            vec![Direction::North]
-        }
+            Direction::North
+        })
     }
 
     fn name(&self) -> &'static str {
@@ -107,12 +178,12 @@ impl RoutingAlgorithm for XyRouting {
 pub struct OddEvenRouting;
 
 impl OddEvenRouting {
-    fn allowed(c: Coord, d: Coord, s: Coord) -> Vec<Direction> {
-        let mut out = Vec::with_capacity(2);
+    fn allowed(c: Coord, d: Coord, s: Coord) -> RouteCandidates {
+        let mut out = RouteCandidates::new();
         let ex = d.x as i32 - c.x as i32;
         let ey = d.y as i32 - c.y as i32;
         if ex == 0 && ey == 0 {
-            return vec![Direction::Local];
+            return RouteCandidates::single(Direction::Local);
         }
         let even_col = c.x.is_multiple_of(2);
         if ex > 0 {
@@ -163,7 +234,7 @@ impl RoutingAlgorithm for OddEvenRouting {
         current: NodeId,
         dst: NodeId,
         in_dir: Direction,
-    ) -> Vec<Direction> {
+    ) -> RouteCandidates {
         // `in_dir == Local` means the packet was injected here; the source
         // column equals the current column in that case.
         let src_col_hint = mesh.coord(current);
@@ -192,18 +263,18 @@ impl RoutingAlgorithm for WestFirstRouting {
         current: NodeId,
         dst: NodeId,
         _in_dir: Direction,
-    ) -> Vec<Direction> {
+    ) -> RouteCandidates {
         let c = mesh.coord(current);
         let d = mesh.coord(dst);
         if c == d {
-            return vec![Direction::Local];
+            return RouteCandidates::single(Direction::Local);
         }
         if d.x < c.x {
             // West hops first, exclusively.
-            return vec![Direction::West];
+            return RouteCandidates::single(Direction::West);
         }
         // No West component left: adaptive among the minimal E/N/S moves.
-        let mut out = Vec::with_capacity(2);
+        let mut out = RouteCandidates::new();
         if d.x > c.x {
             out.push(Direction::East);
         }
@@ -253,10 +324,10 @@ mod tests {
     fn xy_is_x_first() {
         let m = mesh();
         let dirs = XyRouting.route(m, NodeId(0), NodeId(63), Direction::Local);
-        assert_eq!(dirs, vec![Direction::East]);
+        assert_eq!(dirs.as_slice(), [Direction::East]);
         // Same column: moves in Y.
         let dirs = XyRouting.route(m, NodeId(7), NodeId(63), Direction::Local);
-        assert_eq!(dirs, vec![Direction::South]);
+        assert_eq!(dirs.as_slice(), [Direction::South]);
     }
 
     #[test]
@@ -266,7 +337,7 @@ mod tests {
             let dirs = kind
                 .build()
                 .route(m, NodeId(20), NodeId(20), Direction::North);
-            assert_eq!(dirs, vec![Direction::Local], "{kind:?}");
+            assert_eq!(dirs.as_slice(), [Direction::Local], "{kind:?}");
         }
     }
 
@@ -276,10 +347,10 @@ mod tests {
         let r = WestFirstRouting;
         // dst is west and south of src: only West offered.
         let dirs = r.route(m, NodeId(12), NodeId(24), Direction::Local); // (4,1) -> (0,3)
-        assert_eq!(dirs, vec![Direction::West]);
+        assert_eq!(dirs.as_slice(), [Direction::West]);
         // dst is east and south: both adaptive options offered.
         let dirs = r.route(m, NodeId(0), NodeId(63), Direction::Local);
-        assert_eq!(dirs, vec![Direction::East, Direction::South]);
+        assert_eq!(dirs.as_slice(), [Direction::East, Direction::South]);
     }
 
     #[test]
@@ -288,7 +359,7 @@ mod tests {
         let r = WestFirstRouting;
         for src in m.iter_nodes() {
             for dst in m.iter_nodes() {
-                for dir in r.route(m, src, dst, Direction::Local) {
+                for &dir in &r.route(m, src, dst, Direction::Local) {
                     if dir == Direction::Local {
                         assert_eq!(src, dst);
                         continue;

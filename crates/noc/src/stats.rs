@@ -1,3 +1,5 @@
+use crate::fnv::Digest;
+
 /// A coarse latency histogram with power-of-two buckets.
 ///
 /// Bucket `i` counts packets whose end-to-end latency `l` satisfies
@@ -177,6 +179,30 @@ impl NetworkStats {
         } else {
             self.total_hops as f64 / self.delivered_packets as f64
         }
+    }
+
+    /// A platform-stable FNV-1a fingerprint over every counter and the full
+    /// latency histogram. Two stats objects fingerprint equal iff every
+    /// observable field is equal — the determinism tests fold this per
+    /// cycle to certify that a rewritten pipeline behaves identically.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        let mut d = Digest::new();
+        d.u64(self.injected_packets)
+            .u64(self.delivered_packets)
+            .u64(self.delivered_flits)
+            .u64(self.total_hops)
+            .u64(self.modified_packets)
+            .u64(self.dropped_packets)
+            .u64(self.delivered_power_requests)
+            .u64(self.modified_power_requests)
+            .u64(self.latency.count)
+            .u64(self.latency.sum)
+            .u64(self.latency.max);
+        for &bucket in &self.latency.buckets {
+            d.u64(bucket);
+        }
+        d.finish()
     }
 }
 

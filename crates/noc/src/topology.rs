@@ -84,6 +84,20 @@ impl Direction {
         Direction::Local,
     ];
 
+    /// The four mesh directions (no `Local`), in [`Direction::index`]
+    /// order — the order link slots are laid out and scanned in.
+    pub const MESH: [Direction; 4] = [
+        Direction::North,
+        Direction::South,
+        Direction::East,
+        Direction::West,
+    ];
+
+    /// `OPPOSITE_INDEX[d.index()]` is `d.opposite().index()` for the four
+    /// mesh directions (N↔S, E↔W) — a table-lookup form of
+    /// [`Direction::opposite`] for the per-flit hot path.
+    pub const OPPOSITE_INDEX: [usize; 4] = [1, 0, 3, 2];
+
     /// Index of the direction in `0..5`, usable as an array index.
     #[must_use]
     pub fn index(self) -> usize {
@@ -259,6 +273,22 @@ impl Mesh2d {
         Some(self.node(n))
     }
 
+    /// The full neighbour relation as a flat table: entry `node * 4 +
+    /// dir.index()` is [`Mesh2d::neighbor`] of `node` in `dir`, for the
+    /// four mesh directions. Built once at network construction so the
+    /// per-flit hot path replaces coordinate arithmetic (and its bounds
+    /// asserts) with one indexed load.
+    #[must_use]
+    pub fn neighbor_table(self) -> Vec<Option<NodeId>> {
+        let mut table = Vec::with_capacity(self.nodes() as usize * 4);
+        for node in self.iter_nodes() {
+            for dir in Direction::MESH {
+                table.push(self.neighbor(node, dir));
+            }
+        }
+        table
+    }
+
     /// Manhattan distance between two nodes.
     #[must_use]
     pub fn distance(self, a: NodeId, b: NodeId) -> u32 {
@@ -384,5 +414,33 @@ mod tests {
         assert_eq!(Direction::North.opposite(), Some(Direction::South));
         assert_eq!(Direction::East.opposite(), Some(Direction::West));
         assert_eq!(Direction::Local.opposite(), None);
+    }
+
+    #[test]
+    fn opposite_index_table_matches_opposite() {
+        for dir in Direction::MESH {
+            assert_eq!(
+                Direction::OPPOSITE_INDEX[dir.index()],
+                dir.opposite().unwrap().index(),
+                "{dir:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn neighbor_table_matches_neighbor() {
+        for m in [Mesh2d::new(1, 1).unwrap(), Mesh2d::new(5, 3).unwrap()] {
+            let table = m.neighbor_table();
+            assert_eq!(table.len(), m.nodes() as usize * 4);
+            for node in m.iter_nodes() {
+                for dir in Direction::MESH {
+                    assert_eq!(
+                        table[node.0 as usize * 4 + dir.index()],
+                        m.neighbor(node, dir),
+                        "{node} {dir:?}"
+                    );
+                }
+            }
+        }
     }
 }

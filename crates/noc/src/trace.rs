@@ -9,6 +9,7 @@
 
 use std::collections::VecDeque;
 
+use crate::fnv::Digest;
 use crate::packet::PacketKind;
 use crate::topology::NodeId;
 
@@ -182,6 +183,63 @@ impl TraceBuffer {
     pub fn clear(&mut self) {
         self.events.clear();
         self.dropped = 0;
+    }
+
+    /// A platform-stable FNV-1a fingerprint over the retained events (kind,
+    /// fields and order) plus the eviction counter. Used by the determinism
+    /// tests to certify the trace stream is byte-identical across pipeline
+    /// implementations.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        let mut d = Digest::new();
+        d.u64(self.dropped).u64(self.events.len() as u64);
+        for e in &self.events {
+            match *e {
+                TraceEvent::Injected {
+                    packet,
+                    kind,
+                    src,
+                    dst,
+                    cycle,
+                } => {
+                    d.u64(1)
+                        .u64(packet)
+                        .u64(u64::from(kind.to_type_word()))
+                        .u64(u64::from(src.0))
+                        .u64(u64::from(dst.0))
+                        .u64(cycle);
+                }
+                TraceEvent::Routed {
+                    packet,
+                    node,
+                    cycle,
+                } => {
+                    d.u64(2).u64(packet).u64(u64::from(node.0)).u64(cycle);
+                }
+                TraceEvent::Tampered {
+                    packet,
+                    node,
+                    payload_before,
+                    payload_after,
+                    cycle,
+                } => {
+                    d.u64(3)
+                        .u64(packet)
+                        .u64(u64::from(node.0))
+                        .u64(u64::from(payload_before))
+                        .u64(u64::from(payload_after))
+                        .u64(cycle);
+                }
+                TraceEvent::Ejected {
+                    packet,
+                    node,
+                    cycle,
+                } => {
+                    d.u64(4).u64(packet).u64(u64::from(node.0)).u64(cycle);
+                }
+            }
+        }
+        d.finish()
     }
 }
 
