@@ -158,6 +158,9 @@ mod tests {
                 .collect(),
             power_requests_delivered: delivered,
             power_requests_modified: modified,
+            requests_timed_out: 0,
+            requests_rejected: 0,
+            requests_clamped: 0,
         }
     }
 

@@ -64,6 +64,8 @@ fn main() -> ExitCode {
             }
         },
         progress: true,
+        job_timeout: args.job_timeout(),
+        retries: args.retries,
     };
 
     let seeds: Vec<u64> = (0..8).collect();

@@ -55,6 +55,8 @@ fn main() -> ExitCode {
             }
         },
         progress: true,
+        job_timeout: args.job_timeout(),
+        retries: args.retries,
     };
 
     // One job per (mix, duty): a full campaign including its own clean

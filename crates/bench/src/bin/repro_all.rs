@@ -63,6 +63,8 @@ fn main() -> ExitCode {
                 }
             },
             progress: true,
+            job_timeout: args.job_timeout(),
+            retries: args.retries,
         };
         run_repro(scale, outdir, &opts)
     };

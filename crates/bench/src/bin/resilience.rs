@@ -1,0 +1,78 @@
+//! Resilience campaign driver: attack effect under injected transport
+//! faults, swept over *fault rate × allocator policy × hardening × duty*.
+//!
+//! Usage:
+//! `cargo run --release -p htpb-bench --bin resilience [-- FLAGS]`
+//!
+//! - `--quick`        the default: small campaigns (64 nodes, fewer epochs);
+//! - `--tiny`         seconds-scale smoke run (CI / integration scale);
+//! - `--paper`        full paper-scale campaigns;
+//! - `--jobs N`       worker threads (default: one per core);
+//! - `--no-cache` / `--resume`   as in `repro_all`;
+//! - `--job-timeout SECS` / `--retries N`   per-job wall-clock guard.
+//!
+//! Writes `results/resilience.tsv` (one row per swept cell) and
+//! `results/RESILIENCE.txt` (graceful-degradation and attack-effect shape
+//! checks); per-job timings land in `results/journal.jsonl`.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use htpb_harness::{cache_for, run_resilience_sweep, HarnessArgs, ReproScale, RunOptions};
+
+fn main() -> ExitCode {
+    let args = match HarnessArgs::parse(std::env::args().skip(1)) {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("resilience: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut scale = ReproScale::Quick;
+    for arg in &args.rest {
+        match arg.as_str() {
+            "--quick" => scale = ReproScale::Quick,
+            "--tiny" => scale = ReproScale::Tiny,
+            "--paper" => scale = ReproScale::Paper,
+            other => {
+                eprintln!("resilience: unknown flag `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let outdir = Path::new("results");
+    let opts = RunOptions {
+        workers: args.workers(),
+        cache: match cache_for(outdir, args.use_cache) {
+            Ok(cache) => cache,
+            Err(e) => {
+                eprintln!("resilience: opening cache: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        progress: true,
+        job_timeout: args.job_timeout(),
+        retries: args.retries,
+    };
+    match run_resilience_sweep(scale, outdir, &opts) {
+        Ok(outcome) if outcome.failed == 0 => {
+            eprintln!(
+                "[harness] {} jobs, {} from cache",
+                outcome.jobs, outcome.cache_hits
+            );
+            ExitCode::SUCCESS
+        }
+        Ok(outcome) => {
+            eprintln!(
+                "resilience: {} job(s) failed; see results/journal.jsonl",
+                outcome.failed
+            );
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("resilience: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -4,9 +4,10 @@ use htpb_attack::{
     sensitivity_phi, AttackOutcome, AttackSample, Mix, Placement, PlacementOptimizer,
     PlacementStrategy,
 };
+use htpb_faults::{FaultCounters, FaultPlan};
 use htpb_manycore::{AppRole, ManyCoreSystem, PerformanceReport, SystemBuilder};
 use htpb_noc::{Mesh2d, Network, NetworkConfig, NodeId, Packet, RoutingKind};
-use htpb_power::{AllocatorKind, DvfsTable};
+use htpb_power::{AllocatorKind, DegradationCounters, DvfsTable, HardeningConfig};
 use htpb_trojan::{ActivationSchedule, BoostRule, TamperRule, TrojanFleet, TrojanMode};
 
 use crate::series::Series;
@@ -354,9 +355,17 @@ pub struct CampaignResult {
 }
 
 fn build_system(cfg: &CampaignConfig, fleet: TrojanFleet) -> ManyCoreSystem<TrojanFleet> {
+    build_system_opts(cfg, fleet, None)
+}
+
+fn build_system_opts(
+    cfg: &CampaignConfig,
+    fleet: TrojanFleet,
+    hardening: Option<HardeningConfig>,
+) -> ManyCoreSystem<TrojanFleet> {
     let mesh = cfg.mesh();
     let manager = cfg.manager.resolve(mesh);
-    SystemBuilder::new(mesh)
+    let mut builder = SystemBuilder::new(mesh)
         .manager(manager)
         .workload(cfg.mix.workload_for_mesh(mesh))
         .allocator(cfg.allocator)
@@ -365,7 +374,11 @@ fn build_system(cfg: &CampaignConfig, fleet: TrojanFleet) -> ManyCoreSystem<Troj
         .budget_fraction(cfg.budget_fraction)
         .memory_traffic(cfg.memory_traffic)
         .detailed_caches(cfg.detailed_caches)
-        .seed(cfg.seed)
+        .seed(cfg.seed);
+    if let Some(h) = hardening {
+        builder = builder.hardening(h);
+    }
+    builder
         .build_with_inspector(fleet)
         .expect("campaign configuration is internally consistent")
 }
@@ -411,6 +424,25 @@ pub fn run_campaign_with_baseline(
     duty: f64,
     clean: PerformanceReport,
 ) -> CampaignResult {
+    let mut attacked_sys = build_attacked_system(cfg, duty, None);
+    let attacked = run_to_report(cfg, &mut attacked_sys);
+
+    let outcome = AttackOutcome::compare(&attacked, &clean)
+        .expect("mixes always contain attackers and victims with live baselines");
+    CampaignResult {
+        clean,
+        attacked,
+        outcome,
+    }
+}
+
+/// Builds the attacked chip for a campaign: Trojan fleet placed and
+/// configured, agents registered, optional manager hardening installed.
+fn build_attacked_system(
+    cfg: &CampaignConfig,
+    duty: f64,
+    hardening: Option<HardeningConfig>,
+) -> ManyCoreSystem<TrojanFleet> {
     let mesh = cfg.mesh();
     let manager = cfg.manager.resolve(mesh);
     let placement = cfg
@@ -428,7 +460,7 @@ pub fn run_campaign_with_baseline(
     if let Some(boost) = cfg.ht_boost {
         fleet = fleet.with_boost(boost);
     }
-    let mut attacked_sys = build_system(cfg, fleet);
+    let mut attacked_sys = build_system_opts(cfg, fleet, hardening);
     // Register every attacker-application core as an agent (the attacker
     // broadcasts one CONFIG_CMD per agent core; DESIGN.md §4).
     let agents: Vec<NodeId> = attacked_sys
@@ -440,15 +472,7 @@ pub fn run_campaign_with_baseline(
     attacked_sys
         .inspector_mut()
         .configure_all(&agents, manager, true);
-    let attacked = run_to_report(cfg, &mut attacked_sys);
-
-    let outcome = AttackOutcome::compare(&attacked, &clean)
-        .expect("mixes always contain attackers and victims with live baselines");
-    CampaignResult {
-        clean,
-        attacked,
-        outcome,
-    }
+    attacked_sys
 }
 
 /// One point of the Fig. 5 / Fig. 6 sweep.
@@ -633,6 +657,158 @@ pub fn regression_dataset(
     samples
 }
 
+/// Configuration of a resilience campaign: a Fig.-5-style attack campaign
+/// run on top of a *faulty* NoC (seeded [`FaultPlan`] — link outages,
+/// router stalls, bit flips, packet drops), with the global manager
+/// optionally hardened against the resulting noise.
+///
+/// Both arms of the comparison — the Trojan-free baseline and the attacked
+/// run — experience the **same** fault plan, so the derived Q isolates the
+/// Trojan's effect on the degraded substrate rather than conflating it with
+/// transport loss.
+#[derive(Debug, Clone)]
+pub struct ResilienceConfig {
+    /// The underlying campaign (mix, allocator, budget, Trojan rig).
+    pub campaign: CampaignConfig,
+    /// The fault plan injected into both runs.
+    pub faults: FaultPlan,
+    /// Manager hardening; `None` = the paper's trusting manager.
+    pub hardening: Option<HardeningConfig>,
+}
+
+impl ResilienceConfig {
+    /// A resilience rig over `campaign` with the given faults, manager not
+    /// hardened.
+    #[must_use]
+    pub fn new(campaign: CampaignConfig, faults: FaultPlan) -> Self {
+        ResilienceConfig {
+            campaign,
+            faults,
+            hardening: None,
+        }
+    }
+
+    /// Enables default manager hardening.
+    #[must_use]
+    pub fn hardened(mut self) -> Self {
+        self.hardening = Some(HardeningConfig::default());
+        self
+    }
+}
+
+/// Outcome of one resilience campaign: the usual campaign result plus the
+/// ground-truth fault tallies of each arm.
+#[derive(Debug, Clone)]
+pub struct ResilienceResult {
+    /// Baseline, attacked run and attack metrics (as in [`run_campaign`],
+    /// but with faults active in both arms).
+    pub result: CampaignResult,
+    /// Faults actually applied during the Trojan-free baseline.
+    pub baseline_faults: FaultCounters,
+    /// Faults actually applied during the attacked run.
+    pub attacked_faults: FaultCounters,
+    /// Manager degradation events (timeouts / rejects / clamps) during the
+    /// attacked run's measurement window. All zero without hardening.
+    pub degradation: DegradationCounters,
+}
+
+/// Runs one resilience campaign at a given Trojan duty fraction (0.0 =
+/// Trojans dormant — the pure-faults arm of the sweep).
+#[must_use]
+pub fn run_resilient_campaign(rcfg: &ResilienceConfig, duty: f64) -> ResilienceResult {
+    let cfg = &rcfg.campaign;
+
+    // Baseline: same faults, no Trojan activity.
+    let baseline_plan = rcfg.faults.with_fresh_counters();
+    let baseline_counters = baseline_plan.counter_handle();
+    let mut clean_sys = build_system_opts(cfg, TrojanFleet::clean(), rcfg.hardening);
+    clean_sys.set_fault_hook(Box::new(baseline_plan));
+    let clean = run_to_report(cfg, &mut clean_sys);
+
+    // Attacked: same faults, Trojans at `duty`.
+    let attacked_plan = rcfg.faults.with_fresh_counters();
+    let attacked_counters = attacked_plan.counter_handle();
+    let mut attacked_sys = build_attacked_system(cfg, duty, rcfg.hardening);
+    attacked_sys.set_fault_hook(Box::new(attacked_plan));
+    let attacked = run_to_report(cfg, &mut attacked_sys);
+
+    let outcome = AttackOutcome::compare(&attacked, &clean)
+        .expect("mixes always contain attackers and victims with live baselines");
+    let degradation = DegradationCounters {
+        timeouts: attacked.requests_timed_out,
+        rejects: attacked.requests_rejected,
+        clamps: attacked.requests_clamped,
+    };
+    ResilienceResult {
+        result: CampaignResult {
+            clean,
+            attacked,
+            outcome,
+        },
+        baseline_faults: baseline_counters.get(),
+        attacked_faults: attacked_counters.get(),
+        degradation,
+    }
+}
+
+/// One grid cell of the resilience sweep (fault rate × allocator policy ×
+/// hardening) — the data behind the attack-effect-under-faults curves.
+#[derive(Debug, Clone)]
+pub struct ResiliencePoint {
+    /// Allocation policy of this cell.
+    pub allocator: AllocatorKind,
+    /// Packet-drop fault rate in parts-per-million.
+    pub drop_ppm: u32,
+    /// Whether the manager was hardened.
+    pub hardened: bool,
+    /// Commanded Trojan duty fraction (0.0 = faults only).
+    pub duty: f64,
+    /// Measured infection rate of the attacked arm.
+    pub infection: f64,
+    /// Attack effect Q against the equally-faulty baseline.
+    pub q_value: f64,
+    /// Victim θ sum in the attacked arm.
+    pub victim_theta: f64,
+    /// Victim θ sum in the faulty-but-clean baseline.
+    pub baseline_victim_theta: f64,
+    /// Manager degradation events in the attacked arm's window.
+    pub degradation: DegradationCounters,
+    /// Ground-truth faults applied during the attacked arm.
+    pub faults_applied: u64,
+}
+
+/// Computes one point of the resilience sweep: a campaign under a seeded
+/// packet-drop plan at `drop_ppm`, with or without manager hardening.
+/// Independent per point, like [`fig3_point`], so job schedulers can fan
+/// the grid out.
+#[must_use]
+pub fn resilience_point(
+    base: &CampaignConfig,
+    drop_ppm: u32,
+    fault_seed: u64,
+    hardened: bool,
+    duty: f64,
+) -> ResiliencePoint {
+    let faults = FaultPlan::new(fault_seed).with_drops(drop_ppm);
+    let mut rcfg = ResilienceConfig::new(base.clone(), faults);
+    if hardened {
+        rcfg = rcfg.hardened();
+    }
+    let r = run_resilient_campaign(&rcfg, duty);
+    ResiliencePoint {
+        allocator: base.allocator,
+        drop_ppm,
+        hardened,
+        duty,
+        infection: r.result.outcome.infection_rate,
+        q_value: r.result.outcome.q_value,
+        victim_theta: r.result.attacked.victim_theta(),
+        baseline_victim_theta: r.result.clean.victim_theta(),
+        degradation: r.degradation,
+        faults_applied: r.attacked_faults.total(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -707,6 +883,42 @@ mod tests {
         assert_eq!(s.points.len(), 3);
         assert_eq!(s.points[0].1, 0.0);
         assert!(s.is_monotonic_nondecreasing());
+    }
+
+    #[test]
+    fn resilience_point_faults_only_stays_near_baseline() {
+        // 1% packet drops and no Trojan: the hardened manager's hold-last-
+        // grant keeps victim throughput close to the equally-faulty
+        // baseline, Q ≈ 0, and the fault/degradation tallies are live.
+        let base = CampaignConfig::tiny(Mix::Mix1);
+        let p = resilience_point(&base, 10_000, 0xFA_017, true, 0.0);
+        assert!(p.faults_applied > 0, "1% drops over a run must fire");
+        assert!(p.infection < 0.05, "dormant Trojans, near-zero infection");
+        assert!(
+            (p.q_value - 1.0).abs() < 0.35,
+            "faults alone should not look like an attack: Q = {}",
+            p.q_value
+        );
+        let ratio = p.victim_theta / p.baseline_victim_theta;
+        assert!(
+            (0.7..=1.3).contains(&ratio),
+            "victim theta ratio {ratio} out of graceful-degradation bound"
+        );
+    }
+
+    #[test]
+    fn resilient_campaign_is_deterministic() {
+        let base = CampaignConfig::tiny(Mix::Mix1);
+        let run = || {
+            let p = resilience_point(&base, 20_000, 7, true, 0.9);
+            (
+                p.q_value.to_bits(),
+                p.infection.to_bits(),
+                p.faults_applied,
+                p.degradation,
+            )
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

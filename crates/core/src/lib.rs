@@ -39,9 +39,10 @@ mod series;
 
 pub use experiments::{
     attack_sweep, attack_sweep_point, fig3_label, fig3_point, fig3_series, fig4_point, fig4_series,
-    optimal_vs_random, regression_dataset, regression_placements, run_campaign,
-    run_campaign_with_baseline, run_clean_baseline, AttackSweepPoint, CampaignConfig,
-    CampaignResult, InfectionExperiment, ManagerLocation, OptComparison,
+    optimal_vs_random, regression_dataset, regression_placements, resilience_point, run_campaign,
+    run_campaign_with_baseline, run_clean_baseline, run_resilient_campaign, AttackSweepPoint,
+    CampaignConfig, CampaignResult, InfectionExperiment, ManagerLocation, OptComparison,
+    ResilienceConfig, ResiliencePoint, ResilienceResult,
 };
 pub use platform::{describe_benchmarks, describe_mixes, describe_platform};
 pub use series::Series;
@@ -56,6 +57,7 @@ pub use htpb_defense::{
     AnomalyEvent, DefenseSuite, DetectorConfig, LocalizationReport, ProbeCampaign, ProbePlan,
     RequestAnomalyDetector, SuiteVerdict, TrojanLocalizer,
 };
+pub use htpb_faults::{FaultCounters, FaultPlan};
 pub use htpb_manycore::{
     AppId, AppPerformance, AppRole, Application, Benchmark, BenchmarkProfile, ManyCoreSystem,
     ManycoreError, PerformanceReport, RequestProtection, SystemBuilder, SystemConfig, Workload,
@@ -65,8 +67,8 @@ pub use htpb_noc::{
     PacketInspector, PacketKind, RouterConfig, RoutingKind,
 };
 pub use htpb_power::{
-    AllocatorKind, DvfsTable, FrequencyLevel, GlobalManager, PowerAllocator, PowerModel,
-    PowerRequest,
+    AllocatorKind, DegradationCounters, DvfsTable, FrequencyLevel, GlobalManager, HardeningConfig,
+    PowerAllocator, PowerModel, PowerRequest, RequestEnvelope,
 };
 pub use htpb_trojan::{
     ActivationSchedule, AreaReport, BoostRule, HardwareTrojan, TamperRule, TrojanFleet, TrojanMode,

@@ -1,6 +1,7 @@
 use std::collections::HashMap;
 
 use htpb_noc::NodeId;
+use htpb_power::RequestEnvelope;
 
 /// Tuning of the [`RequestAnomalyDetector`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -12,6 +13,13 @@ pub struct DetectorConfig {
     /// Number of requests a core must have submitted before the detector
     /// starts judging it (the EWMA needs history to mean anything).
     pub warmup_samples: u32,
+    /// Optional plausibility envelope (see
+    /// [`htpb_power::PowerModel::request_envelope`]). A request outside it
+    /// cannot be honest regardless of history, so it is flagged even during
+    /// warmup and never folded into the EWMA. This is the same envelope the
+    /// hardened manager clamps against — detector and clamp share one
+    /// definition of "plausible".
+    pub envelope: Option<RequestEnvelope>,
 }
 
 impl Default for DetectorConfig {
@@ -20,7 +28,17 @@ impl Default for DetectorConfig {
             alpha: 0.25,
             drop_ratio: 0.5,
             warmup_samples: 2,
+            envelope: None,
         }
+    }
+}
+
+impl DetectorConfig {
+    /// Builder: attach a plausibility envelope.
+    #[must_use]
+    pub fn with_envelope(mut self, envelope: RequestEnvelope) -> Self {
+        self.envelope = Some(envelope);
+        self
     }
 }
 
@@ -73,6 +91,18 @@ impl RequestAnomalyDetector {
     /// Feeds one received request; returns the anomaly event if flagged.
     pub fn observe(&mut self, core: NodeId, epoch: u64, request_mw: f64) -> Option<AnomalyEvent> {
         let track = self.tracks.entry(core).or_default();
+        if let Some(env) = self.config.envelope {
+            if !env.contains(request_mw) {
+                let event = AnomalyEvent {
+                    core,
+                    epoch,
+                    observed_mw: request_mw,
+                    expected_mw: track.ewma,
+                };
+                self.events.push(event);
+                return Some(event);
+            }
+        }
         if track.samples >= self.config.warmup_samples
             && request_mw < self.config.drop_ratio * track.ewma
         {
@@ -209,6 +239,26 @@ mod tests {
         d2.observe(NodeId(2), 0, 2_000.0);
         d2.observe(NodeId(2), 1, 2_000.0);
         assert!(d2.observe(NodeId(2), 2, 1_200.0).is_none());
+    }
+
+    #[test]
+    fn envelope_flags_implausible_requests_even_in_warmup() {
+        let model = htpb_power::PowerModel::default_45nm();
+        let cfg = DetectorConfig::default().with_envelope(model.request_envelope());
+        let mut d = RequestAnomalyDetector::new(cfg);
+        // First-ever sample, but physically impossible: flagged anyway.
+        assert!(d.observe(NodeId(4), 0, f64::INFINITY).is_some());
+        assert!(d.observe(NodeId(4), 0, -10.0).is_some());
+        assert!(d
+            .observe(NodeId(4), 0, model.peak_power_mw() * 2.0)
+            .is_some());
+        // Plausible values still enjoy warmup grace and EWMA judgement.
+        assert!(d.observe(NodeId(4), 1, 2_000.0).is_none());
+        assert!(d.observe(NodeId(4), 2, 2_000.0).is_none());
+        assert!(d.observe(NodeId(4), 3, 0.0).is_some());
+        // Implausible values never trained the EWMA.
+        let e = d.observe(NodeId(4), 4, 0.0).unwrap();
+        assert!((e.expected_mw - 2_000.0).abs() < 1e-9);
     }
 
     #[test]

@@ -7,9 +7,14 @@
 //!   one per core);
 //! - `--no-cache` — recompute everything, don't read or write the cache;
 //! - `--resume` — explicitly request cache reuse (the default; overrides
-//!   an earlier `--no-cache`).
+//!   an earlier `--no-cache`);
+//! - `--job-timeout SECS` — per-job wall-clock limit (`0` or absent =
+//!   unbounded); a timed-out job is retried, then recorded as failed;
+//! - `--retries N` — retries per timed-out job (default 1).
 //!
 //! Binary-specific flags are returned untouched in [`HarnessArgs::rest`].
+
+use std::time::Duration;
 
 use crate::runner::RunOptions;
 
@@ -20,6 +25,10 @@ pub struct HarnessArgs {
     pub jobs: Option<usize>,
     /// Whether the cache is enabled.
     pub use_cache: bool,
+    /// Per-job wall-clock limit in seconds (`None` = unbounded).
+    pub job_timeout_secs: Option<u64>,
+    /// Retries per timed-out job.
+    pub retries: u32,
     /// Arguments not consumed by the harness.
     pub rest: Vec<String>,
 }
@@ -31,26 +40,44 @@ impl HarnessArgs {
         let mut parsed = HarnessArgs {
             jobs: None,
             use_cache: true,
+            job_timeout_secs: None,
+            retries: 1,
             rest: Vec::new(),
         };
         let mut it = args.into_iter();
+        let number = |flag: &str, text: &str| -> Result<u64, String> {
+            text.parse()
+                .map_err(|_| format!("{flag}: invalid number `{text}`"))
+        };
         while let Some(arg) = it.next() {
             match arg.as_str() {
                 "--jobs" => {
                     let n = it
                         .next()
                         .ok_or_else(|| "--jobs requires a number".to_string())?;
-                    let n: usize = n
-                        .parse()
-                        .map_err(|_| format!("--jobs: invalid number `{n}`"))?;
-                    parsed.jobs = Some(n);
+                    parsed.jobs = Some(number("--jobs", &n)? as usize);
                 }
                 _ if arg.starts_with("--jobs=") => {
-                    let n = &arg["--jobs=".len()..];
-                    parsed.jobs = Some(
-                        n.parse()
-                            .map_err(|_| format!("--jobs: invalid number `{n}`"))?,
-                    );
+                    parsed.jobs = Some(number("--jobs", &arg["--jobs=".len()..])? as usize);
+                }
+                "--job-timeout" => {
+                    let n = it
+                        .next()
+                        .ok_or_else(|| "--job-timeout requires seconds".to_string())?;
+                    parsed.job_timeout_secs = Some(number("--job-timeout", &n)?);
+                }
+                _ if arg.starts_with("--job-timeout=") => {
+                    parsed.job_timeout_secs =
+                        Some(number("--job-timeout", &arg["--job-timeout=".len()..])?);
+                }
+                "--retries" => {
+                    let n = it
+                        .next()
+                        .ok_or_else(|| "--retries requires a number".to_string())?;
+                    parsed.retries = number("--retries", &n)? as u32;
+                }
+                _ if arg.starts_with("--retries=") => {
+                    parsed.retries = number("--retries", &arg["--retries=".len()..])? as u32;
                 }
                 "--no-cache" => parsed.use_cache = false,
                 "--resume" => parsed.use_cache = true,
@@ -58,6 +85,16 @@ impl HarnessArgs {
             }
         }
         Ok(parsed)
+    }
+
+    /// The per-job wall-clock limit this invocation resolves to (`0`
+    /// seconds also means unbounded).
+    #[must_use]
+    pub fn job_timeout(&self) -> Option<Duration> {
+        match self.job_timeout_secs {
+            None | Some(0) => None,
+            Some(secs) => Some(Duration::from_secs(secs)),
+        }
     }
 
     /// The worker count this invocation resolves to.
@@ -97,8 +134,25 @@ mod tests {
     }
 
     #[test]
+    fn timeout_and_retry_flags() {
+        let a = parse(&[]);
+        assert_eq!(a.job_timeout(), None);
+        assert_eq!(a.retries, 1);
+
+        let a = parse(&["--job-timeout", "30", "--retries", "2"]);
+        assert_eq!(a.job_timeout(), Some(Duration::from_secs(30)));
+        assert_eq!(a.retries, 2);
+
+        let a = parse(&["--job-timeout=0", "--retries=0"]);
+        assert_eq!(a.job_timeout(), None, "0 seconds means unbounded");
+        assert_eq!(a.retries, 0);
+    }
+
+    #[test]
     fn rejects_bad_jobs() {
         assert!(HarnessArgs::parse(vec!["--jobs".to_string()]).is_err());
         assert!(HarnessArgs::parse(vec!["--jobs".to_string(), "x".to_string()]).is_err());
+        assert!(HarnessArgs::parse(vec!["--job-timeout".to_string()]).is_err());
+        assert!(HarnessArgs::parse(vec!["--retries=x".to_string()]).is_err());
     }
 }

@@ -11,8 +11,9 @@
 use htpb_attack::{AttackSample, Mix, PlacementStrategy};
 use htpb_core::experiments::{
     attack_sweep_point, fig3_point, fig4_point, optimal_vs_random, regression_dataset,
-    regression_placements, CampaignConfig, ManagerLocation,
+    regression_placements, resilience_point, CampaignConfig, ManagerLocation,
 };
+use htpb_core::AllocatorKind;
 
 use crate::json::Value;
 
@@ -152,6 +153,25 @@ pub enum JobSpec {
         /// Chip size in nodes (overrides the scale's default).
         nodes: u32,
     },
+    /// One cell of the resilience sweep: a full attack campaign (plus its
+    /// equally-faulty clean baseline) under a seeded packet-drop fault
+    /// plan, with or without manager hardening.
+    Resilience {
+        /// Benchmark mix.
+        mix: Mix,
+        /// Campaign scale.
+        scale: CampaignScale,
+        /// Allocation policy of this cell.
+        allocator: AllocatorKind,
+        /// Packet-drop fault rate in parts-per-million.
+        drop_ppm: u32,
+        /// Seed of the fault plan (shared by both campaign arms).
+        fault_seed: u64,
+        /// Whether the manager runs with hardening enabled.
+        hardened: bool,
+        /// Trojan duty cycle in tenths (0 = faults only, no attack).
+        duty_tenths: u32,
+    },
 }
 
 impl JobSpec {
@@ -164,6 +184,7 @@ impl JobSpec {
             JobSpec::SweepPoint { .. } => "sweep",
             JobSpec::OptCompare { .. } => "opt",
             JobSpec::RegressionMix { .. } => "regression",
+            JobSpec::Resilience { .. } => "resil",
         }
     }
 
@@ -212,6 +233,21 @@ impl JobSpec {
             JobSpec::RegressionMix { mix, scale, nodes } => {
                 format!("reg-{}-{}-n{nodes}", mix.name(), scale.tag())
             }
+            JobSpec::Resilience {
+                mix,
+                scale,
+                allocator,
+                drop_ppm,
+                fault_seed,
+                hardened,
+                duty_tenths,
+            } => format!(
+                "resil-{}-{}-{}-p{drop_ppm}-f{fault_seed}-{}-d{duty_tenths}",
+                mix.name(),
+                scale.tag(),
+                allocator.name(),
+                if *hardened { "hard" } else { "soft" }
+            ),
         }
     }
 
@@ -282,6 +318,31 @@ impl JobSpec {
                 let placements = regression_placements(mesh, manager);
                 JobOutput::Samples(regression_dataset(&base, &[*mix], &placements))
             }
+            JobSpec::Resilience {
+                mix,
+                scale,
+                allocator,
+                drop_ppm,
+                fault_seed,
+                hardened,
+                duty_tenths,
+            } => {
+                let mut cfg = scale.config(*mix);
+                cfg.allocator = *allocator;
+                // Same duty expression as the sweep points, bit-identical.
+                let duty = f64::from(*duty_tenths) / 10.0;
+                let p = resilience_point(&cfg, *drop_ppm, *fault_seed, *hardened, duty);
+                JobOutput::Resilience {
+                    infection: p.infection,
+                    q: p.q_value,
+                    victim_theta: p.victim_theta,
+                    baseline_victim_theta: p.baseline_victim_theta,
+                    timeouts: p.degradation.timeouts,
+                    rejects: p.degradation.rejects,
+                    clamps: p.degradation.clamps,
+                    faults_applied: p.faults_applied,
+                }
+            }
         }
     }
 }
@@ -325,6 +386,26 @@ pub enum JobOutput {
     },
     /// Eq. 9 regression samples (one mix, canonical placements, in order).
     Samples(Vec<AttackSample>),
+    /// One resilience-sweep cell: attack effect against the equally-faulty
+    /// baseline plus the manager's degradation tallies.
+    Resilience {
+        /// Measured infection rate of the attacked arm.
+        infection: f64,
+        /// Attack effect Q (1.0 = no effect beyond the faults).
+        q: f64,
+        /// Victim θ sum in the attacked arm.
+        victim_theta: f64,
+        /// Victim θ sum in the faulty-but-clean baseline arm.
+        baseline_victim_theta: f64,
+        /// Hold-last-grant events (silent cores bridged by the manager).
+        timeouts: u64,
+        /// Checksum-rejected requests in the measurement window.
+        rejects: u64,
+        /// Requests clamped into the plausibility envelope.
+        clamps: u64,
+        /// Ground-truth faults the plan applied during the attacked arm.
+        faults_applied: u64,
+    },
 }
 
 impl JobOutput {
@@ -360,6 +441,26 @@ impl JobOutput {
                 ("q_optimal", Value::Num(*q_optimal)),
                 ("q_random", Value::Num(*q_random)),
                 ("improvement", Value::Num(*improvement)),
+            ]),
+            JobOutput::Resilience {
+                infection,
+                q,
+                victim_theta,
+                baseline_victim_theta,
+                timeouts,
+                rejects,
+                clamps,
+                faults_applied,
+            } => Value::obj(vec![
+                ("kind", Value::Str("resil".into())),
+                ("infection", Value::Num(*infection)),
+                ("q", Value::Num(*q)),
+                ("victim_theta", Value::Num(*victim_theta)),
+                ("baseline_victim_theta", Value::Num(*baseline_victim_theta)),
+                ("timeouts", Value::Int(*timeouts as i64)),
+                ("rejects", Value::Int(*rejects as i64)),
+                ("clamps", Value::Int(*clamps as i64)),
+                ("faults_applied", Value::Int(*faults_applied as i64)),
             ]),
             JobOutput::Samples(samples) => Value::obj(vec![
                 ("kind", Value::Str("samples".into())),
@@ -409,6 +510,16 @@ impl JobOutput {
                 q_optimal: v.get("q_optimal")?.as_f64()?,
                 q_random: v.get("q_random")?.as_f64()?,
                 improvement: v.get("improvement")?.as_f64()?,
+            }),
+            "resil" => Some(JobOutput::Resilience {
+                infection: v.get("infection")?.as_f64()?,
+                q: v.get("q")?.as_f64()?,
+                victim_theta: v.get("victim_theta")?.as_f64()?,
+                baseline_victim_theta: v.get("baseline_victim_theta")?.as_f64()?,
+                timeouts: u64::try_from(v.get("timeouts")?.as_i64()?).ok()?,
+                rejects: u64::try_from(v.get("rejects")?.as_i64()?).ok()?,
+                clamps: u64::try_from(v.get("clamps")?.as_i64()?).ok()?,
+                faults_applied: u64::try_from(v.get("faults_applied")?.as_i64()?).ok()?,
             }),
             "samples" => {
                 let rows = v.get("rows")?.as_arr()?;
@@ -479,6 +590,47 @@ mod tests {
     }
 
     #[test]
+    fn resilience_id_encodes_every_parameter() {
+        #[allow(clippy::fn_params_excessive_bools)]
+        fn resil(
+            mix: Mix,
+            scale: CampaignScale,
+            allocator: AllocatorKind,
+            drop_ppm: u32,
+            fault_seed: u64,
+            hardened: bool,
+            duty_tenths: u32,
+        ) -> JobSpec {
+            JobSpec::Resilience {
+                mix,
+                scale,
+                allocator,
+                drop_ppm,
+                fault_seed,
+                hardened,
+                duty_tenths,
+            }
+        }
+        use AllocatorKind::{Greedy, Market};
+        use CampaignScale::{Small, Tiny};
+        let base = resil(Mix::Mix1, Tiny, Greedy, 10_000, 7, false, 9);
+        assert_eq!(base.id(), "resil-mix-1-tiny-greedy-p10000-f7-soft-d9");
+        let mut ids = std::collections::BTreeSet::new();
+        ids.insert(base.id());
+        for variant in [
+            resil(Mix::Mix2, Tiny, Greedy, 10_000, 7, false, 9),
+            resil(Mix::Mix1, Small, Greedy, 10_000, 7, false, 9),
+            resil(Mix::Mix1, Tiny, Market, 10_000, 7, false, 9),
+            resil(Mix::Mix1, Tiny, Greedy, 20_000, 7, false, 9),
+            resil(Mix::Mix1, Tiny, Greedy, 10_000, 8, false, 9),
+            resil(Mix::Mix1, Tiny, Greedy, 10_000, 7, true, 9),
+            resil(Mix::Mix1, Tiny, Greedy, 10_000, 7, false, 0),
+        ] {
+            assert!(ids.insert(variant.id()), "id collision: {}", variant.id());
+        }
+    }
+
+    #[test]
     fn output_json_roundtrip() {
         let outputs = [
             JobOutput::Rate(0.1234),
@@ -501,6 +653,16 @@ mod tests {
                 phi_attackers: 0.6,
                 q: 3.3,
             }]),
+            JobOutput::Resilience {
+                infection: 0.25,
+                q: 1.05,
+                victim_theta: 3.1,
+                baseline_victim_theta: 3.2,
+                timeouts: 12,
+                rejects: 3,
+                clamps: 0,
+                faults_applied: 450,
+            },
         ];
         for out in &outputs {
             let text = out.to_json().render();

@@ -109,6 +109,46 @@ impl Journal {
             ],
         );
     }
+
+    /// Reads a journal file back as parsed events, in order. A missing
+    /// file is an empty journal. Unparseable lines — typically one
+    /// truncated trailing line left by a killed writer — are skipped with
+    /// a warning on stderr rather than failing the resume.
+    pub fn read_events(path: &Path) -> io::Result<Vec<Value>> {
+        let text = match fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(e),
+        };
+        let mut events = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            match crate::json::parse(line) {
+                Ok(v) => events.push(v),
+                Err(_) => eprintln!(
+                    "[harness] warning: skipping corrupt journal line {} in {}",
+                    lineno + 1,
+                    path.display()
+                ),
+            }
+        }
+        Ok(events)
+    }
+
+    /// The ids of jobs a prior (possibly interrupted) run already
+    /// completed successfully, according to its journal. Tolerates a
+    /// corrupt trailing line like [`Journal::read_events`].
+    pub fn completed_job_ids(path: &Path) -> io::Result<Vec<String>> {
+        let events = Journal::read_events(path)?;
+        Ok(events
+            .iter()
+            .filter(|e| e.get("event").and_then(Value::as_str) == Some("job"))
+            .filter(|e| e.get("ok") == Some(&Value::Bool(true)))
+            .filter_map(|e| e.get("id")?.as_str().map(ToString::to_string))
+            .collect())
+    }
 }
 
 fn now_ms() -> i64 {
@@ -149,5 +189,35 @@ mod tests {
     #[test]
     fn disabled_journal_is_a_no_op() {
         Journal::disabled().stage("x", 1.0);
+    }
+
+    #[test]
+    fn read_back_tolerates_a_truncated_trailing_line() {
+        let path =
+            std::env::temp_dir().join(format!("htpb-journal-trunc-{}.jsonl", std::process::id()));
+        let _ = fs::remove_file(&path);
+        let j = Journal::open(&path).unwrap();
+        j.job("fig3-a", "fig3", 0, false, true, 0.1, None);
+        j.job("fig3-b", "fig3", 0, false, false, 0.1, Some("boom"));
+        drop(j);
+        // Simulate a writer killed mid-line: append half a JSON object.
+        let mut text = fs::read_to_string(&path).unwrap();
+        text.push_str("{\"event\":\"job\",\"id\":\"fig3-c\",\"ok\":tr");
+        fs::write(&path, text).unwrap();
+
+        let events = Journal::read_events(&path).unwrap();
+        assert_eq!(events.len(), 2, "the corrupt tail is skipped, not fatal");
+        assert_eq!(
+            Journal::completed_job_ids(&path).unwrap(),
+            vec!["fig3-a".to_string()],
+            "only ok jobs count as completed"
+        );
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn read_back_of_missing_journal_is_empty() {
+        let path = std::env::temp_dir().join("htpb-journal-does-not-exist.jsonl");
+        assert!(Journal::read_events(&path).unwrap().is_empty());
     }
 }

@@ -18,8 +18,11 @@
 //! - [`run_repro`] / [`run_repro_sequential`] — the whole `repro_all`
 //!   campaign planned as jobs, plus the legacy sequential reference path
 //!   ([`repro`]);
-//! - [`HarnessArgs`] — the shared `--jobs` / `--no-cache` / `--resume`
-//!   flag parser ([`cli`]).
+//! - [`run_resilience_sweep`] — the fault-injection campaign: attack
+//!   effect and graceful degradation across *fault rate × allocator ×
+//!   hardening* ([`resilience`]);
+//! - [`HarnessArgs`] — the shared `--jobs` / `--no-cache` / `--resume` /
+//!   `--job-timeout` / `--retries` flag parser ([`cli`]).
 //!
 //! See `docs/HARNESS.md` for the job model, cache layout and journal
 //! schema.
@@ -34,6 +37,7 @@ pub mod job;
 pub mod journal;
 pub mod json;
 pub mod repro;
+pub mod resilience;
 pub mod runner;
 
 pub use cache::{ResultCache, SCHEMA_VERSION};
@@ -43,4 +47,5 @@ pub use journal::Journal;
 pub use repro::{
     cache_for, ensure_outdir, run_repro, run_repro_sequential, ReproOutcome, ReproPlan, ReproScale,
 };
+pub use resilience::{run_resilience_plan, run_resilience_sweep, ResiliencePlan};
 pub use runner::{run_jobs, JobReport, RunOptions};

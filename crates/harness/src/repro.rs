@@ -483,7 +483,21 @@ pub fn ensure_outdir(outdir: &Path) -> io::Result<()> {
 /// run), only missing points execute.
 pub fn run_repro(scale: ReproScale, outdir: &Path, opts: &RunOptions) -> io::Result<ReproOutcome> {
     ensure_outdir(outdir)?;
-    let journal = Journal::open(&outdir.join("journal.jsonl"))?;
+    let journal_path = outdir.join("journal.jsonl");
+    // Resume note: the read-back tolerates the corrupt/truncated trailing
+    // line a killed run can leave, so an interrupted campaign always
+    // restarts cleanly (the cache, not the journal, decides what reruns).
+    if opts.cache.is_some() {
+        if let Ok(prior) = Journal::completed_job_ids(&journal_path) {
+            if !prior.is_empty() {
+                eprintln!(
+                    "[harness] resuming: journal already records {} completed job(s)",
+                    prior.len()
+                );
+            }
+        }
+    }
+    let journal = Journal::open(&journal_path)?;
     let plan = ReproPlan::plan(scale);
     journal.record(
         "run_start",

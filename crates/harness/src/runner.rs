@@ -9,16 +9,23 @@
 //!
 //! Each job runs under [`std::panic::catch_unwind`], so one panicking
 //! scenario records a failure and the rest of the campaign continues.
+//!
+//! With [`RunOptions::job_timeout`] set, each job additionally runs on a
+//! detached thread bounded by a wall-clock limit: a hung scenario times
+//! out (leaking its thread rather than wedging the pool), is retried up to
+//! [`RunOptions::retries`] times, and finally records a failure. Timeouts
+//! and retries land in the journal as `job_timeout` / `job_retry` events.
 
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{mpsc, Mutex};
 use std::thread;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use crate::cache::ResultCache;
 use crate::job::{JobOutput, JobSpec};
 use crate::journal::Journal;
+use crate::json::Value;
 
 /// Pool configuration.
 #[derive(Debug)]
@@ -29,6 +36,12 @@ pub struct RunOptions {
     pub cache: Option<ResultCache>,
     /// Emit a progress/ETA line on stderr while running.
     pub progress: bool,
+    /// Per-job wall-clock limit; `None` (the default) lets jobs run
+    /// unbounded on the worker thread itself.
+    pub job_timeout: Option<Duration>,
+    /// How many times a timed-out job is retried before it is recorded as
+    /// failed (`--retries`, default 1).
+    pub retries: u32,
 }
 
 impl RunOptions {
@@ -39,6 +52,8 @@ impl RunOptions {
             workers: 1,
             cache: None,
             progress: false,
+            job_timeout: None,
+            retries: 1,
         }
     }
 
@@ -102,7 +117,7 @@ pub fn run_jobs(jobs: &[JobSpec], opts: &RunOptions, journal: &Journal) -> Vec<J
                 }
                 let spec = &jobs[i];
                 let t0 = Instant::now();
-                let (output, cache_hit) = execute_one(spec, opts.cache.as_ref());
+                let (output, cache_hit) = execute_with_retries(spec, opts, journal);
                 let secs = t0.elapsed().as_secs_f64();
                 journal.job(
                     &spec.id(),
@@ -144,13 +159,95 @@ pub fn run_jobs(jobs: &[JobSpec], opts: &RunOptions, journal: &Journal) -> Vec<J
         .collect()
 }
 
-fn execute_one(spec: &JobSpec, cache: Option<&ResultCache>) -> (Result<JobOutput, String>, bool) {
+/// Runs one job under the pool's timeout/retry policy. A timed-out attempt
+/// is journalled (`job_timeout`) and retried (`job_retry`) until the retry
+/// budget runs out; the final attempt's outcome is returned.
+fn execute_with_retries(
+    spec: &JobSpec,
+    opts: &RunOptions,
+    journal: &Journal,
+) -> (Result<JobOutput, String>, bool) {
+    let mut attempt: u32 = 0;
+    loop {
+        let (output, cache_hit, timed_out) =
+            execute_one(spec, opts.cache.as_ref(), opts.job_timeout);
+        if timed_out {
+            journal.record(
+                "job_timeout",
+                vec![
+                    ("id", Value::Str(spec.id())),
+                    ("attempt", Value::Int(i64::from(attempt) + 1)),
+                    (
+                        "limit_secs",
+                        Value::Num(opts.job_timeout.map_or(0.0, |d| d.as_secs_f64())),
+                    ),
+                ],
+            );
+            if attempt < opts.retries {
+                attempt += 1;
+                journal.record(
+                    "job_retry",
+                    vec![
+                        ("id", Value::Str(spec.id())),
+                        ("attempt", Value::Int(i64::from(attempt) + 1)),
+                    ],
+                );
+                continue;
+            }
+        }
+        return (output, cache_hit);
+    }
+}
+
+/// Runs one attempt. The third return flags a wall-clock timeout (the
+/// caller decides whether to retry).
+fn execute_one(
+    spec: &JobSpec,
+    cache: Option<&ResultCache>,
+    timeout: Option<Duration>,
+) -> (Result<JobOutput, String>, bool, bool) {
     if let Some(cache) = cache {
         if let Some(output) = cache.load(spec) {
-            return (Ok(output), true);
+            return (Ok(output), true, false);
         }
     }
-    let result = panic::catch_unwind(AssertUnwindSafe(|| spec.execute()));
+    let result = match timeout {
+        None => panic::catch_unwind(AssertUnwindSafe(|| spec.execute()))
+            .map_err(|payload| panic_message(payload.as_ref())),
+        Some(limit) => {
+            // The job runs on a detached thread so a hung scenario cannot
+            // wedge the worker: on timeout the thread is leaked (it parks
+            // on a disconnected channel when it eventually finishes) and
+            // the pool moves on. The limit is a hard wall-clock budget:
+            // a result that arrives late (the scheduler can run the job
+            // to completion before this thread ever blocks on the
+            // channel) still counts as a timeout, so the outcome does not
+            // depend on scheduling order.
+            let started = Instant::now();
+            let (tx, rx) = mpsc::channel();
+            let owned = spec.clone();
+            let spawned = thread::Builder::new()
+                .name(format!("job-{}", owned.id()))
+                .spawn(move || {
+                    let r = panic::catch_unwind(AssertUnwindSafe(|| owned.execute()))
+                        .map_err(|payload| panic_message(payload.as_ref()));
+                    let _ = tx.send(r);
+                });
+            match spawned {
+                Err(e) => Err(format!("failed to spawn job thread: {e}")),
+                Ok(_) => match rx.recv_timeout(limit) {
+                    Ok(r) if started.elapsed() <= limit => r,
+                    Ok(_) | Err(_) => {
+                        return (
+                            Err(format!("timed out after {:.1}s", limit.as_secs_f64())),
+                            false,
+                            true,
+                        )
+                    }
+                },
+            }
+        }
+    };
     match result {
         Ok(output) => {
             if let Some(cache) = cache {
@@ -161,9 +258,9 @@ fn execute_one(spec: &JobSpec, cache: Option<&ResultCache>) -> (Result<JobOutput
                     );
                 }
             }
-            (Ok(output), false)
+            (Ok(output), false, false)
         }
-        Err(payload) => (Err(panic_message(payload.as_ref())), false),
+        Err(e) => (Err(e), false, false),
     }
 }
 
@@ -212,8 +309,7 @@ mod tests {
             &jobs,
             &RunOptions {
                 workers: 4,
-                cache: None,
-                progress: false,
+                ..RunOptions::sequential()
             },
             &Journal::disabled(),
         );
@@ -241,8 +337,7 @@ mod tests {
             &jobs,
             &RunOptions {
                 workers: 2,
-                cache: None,
-                progress: false,
+                ..RunOptions::sequential()
             },
             &Journal::disabled(),
         );
@@ -253,5 +348,67 @@ mod tests {
                 assert!(r.output.is_ok(), "job {i} should survive the panic");
             }
         }
+    }
+
+    #[test]
+    fn generous_timeout_matches_untimed_run() {
+        let jobs = tiny_jobs();
+        let untimed = run_jobs(&jobs, &RunOptions::sequential(), &Journal::disabled());
+        let timed = run_jobs(
+            &jobs,
+            &RunOptions {
+                job_timeout: Some(Duration::from_secs(600)),
+                ..RunOptions::sequential()
+            },
+            &Journal::disabled(),
+        );
+        for (a, b) in untimed.iter().zip(&timed) {
+            assert_eq!(a.output.as_ref().unwrap(), b.output.as_ref().unwrap());
+        }
+    }
+
+    #[test]
+    fn timed_out_job_retries_then_fails_without_wedging_the_pool() {
+        let path =
+            std::env::temp_dir().join(format!("htpb-runner-timeout-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let journal = Journal::open(&path).unwrap();
+        // A 1ns budget cannot cover a real simulation (milliseconds), so
+        // every job deterministically times out twice (initial attempt +
+        // one retry) and the pool must still drain. Jobs need ht_count > 0:
+        // the zero-Trojan shortcut is fast enough to win the recv race.
+        let jobs: Vec<JobSpec> = (1..4)
+            .map(|m| JobSpec::Fig3Point {
+                nodes: 16,
+                corner: false,
+                ht_count: m,
+                seeds: vec![0, 1],
+            })
+            .collect();
+        let reports = run_jobs(
+            &jobs,
+            &RunOptions {
+                workers: 2,
+                job_timeout: Some(Duration::from_nanos(1)),
+                retries: 1,
+                ..RunOptions::sequential()
+            },
+            &journal,
+        );
+        assert_eq!(reports.len(), jobs.len(), "pool must not wedge");
+        for r in &reports {
+            let err = r.output.as_ref().unwrap_err();
+            assert!(err.contains("timed out"), "unexpected error: {err}");
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let timeouts = text.matches("\"event\":\"job_timeout\"").count();
+        let retries = text.matches("\"event\":\"job_retry\"").count();
+        assert_eq!(
+            timeouts,
+            2 * jobs.len(),
+            "each job: initial attempt + one retry both time out\n{text}"
+        );
+        assert_eq!(retries, jobs.len(), "exactly one retry per job\n{text}");
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -34,6 +34,16 @@ pub struct PerformanceReport {
     pub power_requests_delivered: u64,
     /// Of those, how many were tampered with en route.
     pub power_requests_modified: u64,
+    /// Hardened-manager degradation events in this window: epochs in which
+    /// a previously-seen core went silent and a hold/decay request was
+    /// synthesized for it. Zero unless hardening is enabled (an extension
+    /// beyond the paper's trusting manager).
+    pub requests_timed_out: u64,
+    /// Requests rejected by checksum verification during the window.
+    pub requests_rejected: u64,
+    /// Requests pulled into the power model's plausibility envelope by the
+    /// hardened manager during the window.
+    pub requests_clamped: u64,
 }
 
 impl PerformanceReport {
@@ -46,6 +56,14 @@ impl PerformanceReport {
         } else {
             self.power_requests_modified as f64 / self.power_requests_delivered as f64
         }
+    }
+
+    /// Sum of all degradation events (timeouts + rejects + clamps) in this
+    /// window — how hard the hardened manager had to work to keep budgeting
+    /// sane.
+    #[must_use]
+    pub fn degradation_total(&self) -> u64 {
+        self.requests_timed_out + self.requests_rejected + self.requests_clamped
     }
 
     /// Looks up one application's performance.
@@ -102,7 +120,19 @@ mod tests {
             ],
             power_requests_delivered: 10,
             power_requests_modified: 4,
+            requests_timed_out: 0,
+            requests_rejected: 0,
+            requests_clamped: 0,
         }
+    }
+
+    #[test]
+    fn degradation_total_sums_counters() {
+        let mut r = report();
+        r.requests_timed_out = 3;
+        r.requests_rejected = 2;
+        r.requests_clamped = 1;
+        assert_eq!(r.degradation_total(), 6);
     }
 
     #[test]

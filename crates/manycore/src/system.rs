@@ -5,10 +5,12 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use htpb_noc::{
-    Mesh2d, Network, NetworkConfig, NocError, NodeId, NullInspector, Packet, PacketInspector,
-    PacketKind, RoutingKind,
+    FaultHook, Mesh2d, Network, NetworkConfig, NocError, NodeId, NullInspector, Packet,
+    PacketInspector, PacketKind, RoutingKind,
 };
-use htpb_power::{AllocatorKind, GlobalManager, PowerModel, PowerRequest};
+use htpb_power::{
+    AllocatorKind, DegradationCounters, GlobalManager, HardeningConfig, PowerModel, PowerRequest,
+};
 
 use crate::app::Workload;
 use crate::cache::{CacheConfig, Directory, SetAssocCache};
@@ -56,6 +58,11 @@ pub struct SystemConfig {
     /// defense of the paper's conclusion). `None` = the vulnerable baseline
     /// protocol the paper attacks.
     pub protection: Option<RequestProtection>,
+    /// Optional graceful-degradation hardening of the global manager
+    /// (request timeout → hold-last-grant, plausibility clamping; see
+    /// [`htpb_power::HardeningConfig`]). `None` = the paper's trusting
+    /// manager.
+    pub hardening: Option<HardeningConfig>,
     /// Detailed cache mode: real L1 tag stores per tile, per-home L2
     /// slices and MESI-lite directories with invalidation traffic, instead
     /// of the rate-based memory-traffic model. Slower but structurally
@@ -87,6 +94,7 @@ impl SystemConfig {
             memory_latency: 200,
             starvation_duty: 0.25,
             protection: None,
+            hardening: None,
             detailed_caches: false,
             mshr_limit: 8,
             seed: 0xC0FFEE,
@@ -244,6 +252,14 @@ impl SystemBuilder {
         self
     }
 
+    /// Enables graceful-degradation hardening of the global manager (see
+    /// [`SystemConfig::hardening`]).
+    #[must_use]
+    pub fn hardening(mut self, cfg: HardeningConfig) -> Self {
+        self.config.hardening = Some(cfg);
+        self
+    }
+
     /// Enables the detailed cache/coherence model (see
     /// [`SystemConfig::detailed_caches`]).
     #[must_use]
@@ -337,7 +353,8 @@ impl SystemBuilder {
             })
             .sum();
         let budget = cfg.budget_mw.unwrap_or(honest_demand * cfg.budget_fraction);
-        let manager = GlobalManager::new(budget, cfg.allocator.build());
+        let mut manager = GlobalManager::new(budget, cfg.allocator.build());
+        manager.set_hardening(cfg.hardening);
 
         let net = Network::with_inspector(
             NetworkConfig::new(cfg.mesh).with_routing(cfg.routing),
@@ -373,6 +390,7 @@ impl SystemBuilder {
             window_requests_delivered: 0,
             window_requests_modified: 0,
             window_requests_rejected: 0,
+            window_degradation_base: DegradationCounters::default(),
             last_good_request: vec![None; nodes],
             directories,
             l2_slices,
@@ -412,6 +430,9 @@ pub struct ManyCoreSystem<I: PacketInspector = NullInspector> {
     window_requests_delivered: u64,
     window_requests_modified: u64,
     window_requests_rejected: u64,
+    /// Manager degradation counters at the start of the measurement window
+    /// (they are cumulative in the manager; reports subtract this base).
+    window_degradation_base: DegradationCounters,
     /// Last authenticated request per core (protection fallback).
     last_good_request: Vec<Option<f64>>,
     /// Per-home MESI-lite directories (detailed mode only).
@@ -459,6 +480,19 @@ impl<I: PacketInspector> ManyCoreSystem<I> {
     /// Trojan fleet mid-run).
     pub fn inspector_mut(&mut self) -> &mut I {
         self.net.inspector_mut()
+    }
+
+    /// Installs a fault-injection hook on the underlying NoC (e.g. a seeded
+    /// `htpb_faults::FaultPlan`). Like the inspector, this is configured
+    /// after `build()` because the builder stays `Clone`.
+    pub fn set_fault_hook(&mut self, hook: Box<dyn FaultHook>) {
+        self.net.set_fault_hook(hook);
+    }
+
+    /// Removes and returns the fault hook, if one was installed (e.g. to
+    /// read back its fault counters at the end of a run).
+    pub fn take_fault_hook(&mut self) -> Option<Box<dyn FaultHook>> {
+        self.net.take_fault_hook()
     }
 
     /// The global manager (budget, epoch summaries).
@@ -562,6 +596,7 @@ impl<I: PacketInspector> ManyCoreSystem<I> {
         self.window_requests_delivered = 0;
         self.window_requests_modified = 0;
         self.window_requests_rejected = 0;
+        self.window_degradation_base = self.manager.degradation();
         for t in &mut self.tiles {
             t.reset_window();
         }
@@ -631,11 +666,16 @@ impl<I: PacketInspector> ManyCoreSystem<I> {
                 }
             })
             .collect();
+        let degradation = self.manager.degradation();
+        let base = self.window_degradation_base;
         PerformanceReport {
             window_cycles: window,
             apps,
             power_requests_delivered: self.window_requests_delivered,
             power_requests_modified: self.window_requests_modified,
+            requests_timed_out: degradation.timeouts - base.timeouts,
+            requests_rejected: self.window_requests_rejected,
+            requests_clamped: degradation.clamps - base.clamps,
         }
     }
 
@@ -728,6 +768,7 @@ impl<I: PacketInspector> ManyCoreSystem<I> {
                             // payload and budget on the last authenticated
                             // value from this core, if any.
                             self.window_requests_rejected += 1;
+                            self.manager.note_rejected_request();
                             match self.last_good_request[p.src().0 as usize] {
                                 Some(good) => value = good,
                                 None => continue,
@@ -1148,6 +1189,47 @@ mod tests {
             sys.manager().budget_mw()
         );
         assert_eq!(sys.manager().history().len(), 3);
+    }
+
+    #[test]
+    fn hardened_manager_survives_lossy_transport() {
+        // With 20% of packets dropped, an unhardened manager simply sees
+        // fewer requesters. A hardened one synthesizes hold-last-grant
+        // requests for the silent cores, so the requester count recovers
+        // and the degradation counters show up in the report.
+        let mesh = Mesh2d::new(4, 4).unwrap();
+        let build = |hardened: bool| {
+            let mut b = SystemBuilder::new(mesh)
+                .workload(Workload::new().app(Benchmark::Blackscholes, 15, AppRole::Legitimate))
+                .memory_traffic(false)
+                .seed(7);
+            if hardened {
+                b = b.hardening(HardeningConfig::default());
+            }
+            let mut sys = b.build().unwrap();
+            sys.set_fault_hook(Box::new(
+                htpb_faults::FaultPlan::new(0xD1E).with_drops(200_000),
+            ));
+            sys.run_epochs(1);
+            sys.begin_measurement();
+            sys.run_epochs(6);
+            sys
+        };
+
+        let soft = build(false);
+        let hard = build(true);
+        let soft_requesters = soft.manager().last_summary().unwrap().requesters;
+        let hard_requesters = hard.manager().last_summary().unwrap().requesters;
+        assert!(
+            soft_requesters < 15,
+            "drops should cost the unhardened manager requesters"
+        );
+        assert_eq!(hard_requesters, 15, "hardening must cover silent cores");
+
+        let r = hard.performance_report();
+        assert!(r.requests_timed_out > 0, "timeouts should be visible");
+        assert_eq!(r.requests_timed_out, r.degradation_total());
+        assert_eq!(soft.performance_report().degradation_total(), 0);
     }
 
     #[test]

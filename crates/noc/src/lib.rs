@@ -34,6 +34,7 @@
 
 mod active;
 mod error;
+mod fault;
 mod flit;
 mod fnv;
 mod inspect;
@@ -48,6 +49,7 @@ mod traffic;
 mod vc;
 
 pub use error::NocError;
+pub use fault::{FaultAction, FaultHook};
 pub use flit::{Flit, FlitKind, FLITS_PER_DATA_PACKET, FLITS_PER_META_PACKET, FLIT_SIZE_BITS};
 pub use fnv::{Digest, FnvBuildHasher, FnvHashMap, FnvHasher};
 pub use inspect::{InspectOutcome, NullInspector, PacketInspector};

@@ -2,6 +2,7 @@ use std::collections::VecDeque;
 
 use crate::active::{ActiveSet, BitsIter};
 use crate::error::NocError;
+use crate::fault::{FaultAction, FaultHook};
 use crate::flit::Flit;
 use crate::fnv::FnvHashMap;
 use crate::inspect::{NullInspector, PacketInspector};
@@ -133,6 +134,10 @@ pub struct Network<I: PacketInspector = NullInspector> {
     pending_heads: FnvHashMap<u64, Packet>,
     ejected: Vec<DeliveredPacket>,
     inspector: I,
+    /// Optional deterministic fault layer ([`FaultHook`]). `None` (the
+    /// default) costs one branch per [`Network::step`]; a hook whose
+    /// [`FaultHook::any_faults_at`] returns `false` costs one virtual call.
+    faults: Option<Box<dyn FaultHook>>,
     stats: NetworkStats,
     trace: Option<TraceBuffer>,
     cycle: u64,
@@ -182,6 +187,7 @@ impl<I: PacketInspector> Network<I> {
             pending_heads: FnvHashMap::default(),
             ejected: Vec::new(),
             inspector,
+            faults: None,
             stats: NetworkStats::default(),
             trace: config.trace_capacity.map(TraceBuffer::new),
             cycle: 0,
@@ -217,6 +223,24 @@ impl<I: PacketInspector> Network<I> {
     /// Mutable access to the inspector (e.g. to re-arm Trojans mid-run).
     pub fn inspector_mut(&mut self) -> &mut I {
         &mut self.inspector
+    }
+
+    /// Installs a fault-injection hook (replacing any previous one). See
+    /// [`FaultHook`] for where the pipeline consults it.
+    pub fn set_fault_hook(&mut self, hook: Box<dyn FaultHook>) {
+        self.faults = Some(hook);
+    }
+
+    /// Removes and returns the installed fault hook, if any — the way to
+    /// read back a fault plan's counters after a run.
+    pub fn take_fault_hook(&mut self) -> Option<Box<dyn FaultHook>> {
+        self.faults.take()
+    }
+
+    /// Whether a fault hook is currently installed.
+    #[must_use]
+    pub fn has_fault_hook(&self) -> bool {
+        self.faults.is_some()
     }
 
     /// Aggregate network statistics.
@@ -326,15 +350,24 @@ impl<I: PacketInspector> Network<I> {
     /// Advances the network by one cycle.
     pub fn step(&mut self) {
         if self.is_quiescent() {
-            // Every stage is a no-op on a quiet network; only time passes.
+            // Every stage is a no-op on a quiet network (faults included:
+            // with no flit anywhere, a downed link, stalled router or
+            // corrupted packet can have no effect); only time passes.
             self.cycle += 1;
             return;
         }
+        // One gate call per cycle; when it reports no faults the stages
+        // make zero further hook calls, keeping the empty-plan path
+        // bit-identical to a build with no hook installed.
+        let faults_engaged = match self.faults.as_mut() {
+            Some(hook) => hook.any_faults_at(self.cycle),
+            None => false,
+        };
         self.stage_link_delivery();
-        self.stage_switch_traversal();
+        self.stage_switch_traversal(faults_engaged);
         self.stage_injection();
         self.stage_vc_allocation();
-        self.stage_routing_and_inspection();
+        self.stage_routing_and_inspection(faults_engaged);
         self.cycle += 1;
     }
 
@@ -384,7 +417,12 @@ impl<I: PacketInspector> Network<I> {
     /// the eligible (input port, VC) pairs. Virtual channels whose packet an
     /// inspector ordered dropped are drained into a sink instead (one flit
     /// per cycle, credits still returned upstream).
-    fn stage_switch_traversal(&mut self) {
+    ///
+    /// When `faults_engaged`, the installed [`FaultHook`] may stall whole
+    /// routers (skipped before the drop sink; their flits stay buffered and
+    /// the router stays in the active set) and take links down (the output
+    /// port behaves as if the link were busy).
+    fn stage_switch_traversal(&mut self, faults_engaged: bool) {
         // Deferred credit returns: (upstream node, upstream out dir, vc, free_vc).
         let mut credit_returns = std::mem::take(&mut self.credit_scratch);
         credit_returns.clear();
@@ -397,6 +435,16 @@ impl<I: PacketInspector> Network<I> {
         for &ri in &worklist {
             let ri = ri as usize;
             let node = NodeId(ri as u16);
+            // A stalled router forwards (and sinks) nothing this cycle. Its
+            // flits stay buffered, so it is still a legitimate active-set
+            // member and the end-of-loop removal below is correctly skipped.
+            if faults_engaged {
+                if let Some(hook) = self.faults.as_mut() {
+                    if hook.router_stalled(node, self.cycle) {
+                        continue;
+                    }
+                }
+            }
             // Sink stage for dropped packets — gated on the O(1) dropping
             // counter; routers with nothing to sink skip the 5 × VCs scan.
             if self.routers[ri].has_dropping() {
@@ -427,6 +475,15 @@ impl<I: PacketInspector> Network<I> {
                     && self.links[self.link_index(node, out_dir)].is_some()
                 {
                     continue;
+                }
+                // A downed link is indistinguishable from a busy one: the
+                // port simply skips arbitration this cycle.
+                if faults_engaged && out_dir != Direction::Local {
+                    if let Some(hook) = self.faults.as_mut() {
+                        if hook.link_down(node, out_dir, self.cycle) {
+                            continue;
+                        }
+                    }
                 }
                 let vcs = self.routers[ri].config().vcs;
                 let slots = 5 * vcs;
@@ -619,7 +676,12 @@ impl<I: PacketInspector> Network<I> {
     /// Stage 4: routing computation, preceded by the inspection hook — the
     /// point where an implanted Trojan reads and possibly rewrites the
     /// packet (Fig. 2b).
-    fn stage_routing_and_inspection(&mut self) {
+    ///
+    /// When `faults_engaged`, the installed [`FaultHook`] runs immediately
+    /// after the inspector on the same once-per-packet-per-router
+    /// discipline: payload bit flips reuse the tamper bookkeeping,
+    /// whole-packet drops reuse the inspector's drop-sink machinery.
+    fn stage_routing_and_inspection(&mut self, faults_engaged: bool) {
         // RC moves no flits either (the inspector only sees the packet
         // header), so the same snapshot argument as VA applies.
         let mut worklist = std::mem::take(&mut self.scratch);
@@ -666,6 +728,33 @@ impl<I: PacketInspector> Network<I> {
                                     packet: packet_id,
                                     node,
                                     payload_before,
+                                    payload_after: packet.payload(),
+                                    cycle: self.cycle,
+                                });
+                            }
+                        }
+                        let action = match self.faults.as_mut() {
+                            Some(hook) if faults_engaged => {
+                                hook.packet_fault(node, self.cycle, packet)
+                            }
+                            _ => FaultAction::none(),
+                        };
+                        if action.drop {
+                            self.routers[ri].mark_dropping(in_port, vc);
+                            self.routers[ri].inputs[in_port][vc].inspected = true;
+                            continue;
+                        }
+                        if action.flip_mask != 0 {
+                            let before = packet.payload();
+                            packet.set_payload(before ^ action.flip_mask);
+                            if let Some(meta) = self.in_flight.get_mut(&packet_id) {
+                                meta.modified = true;
+                            }
+                            if let Some(trace) = self.trace.as_mut() {
+                                trace.record(TraceEvent::Tampered {
+                                    packet: packet_id,
+                                    node,
+                                    payload_before: before,
                                     payload_after: packet.payload(),
                                     cycle: self.cycle,
                                 });
@@ -1131,5 +1220,143 @@ mod tests {
         assert!(far_lat > near_lat, "{far_lat} vs {near_lat}");
         // Each extra hop costs ~3 cycles (2-cycle router + 1-cycle link).
         assert!(far_lat - near_lat >= 14 * 2);
+    }
+
+    /// A scriptable hook for the fault-path tests below.
+    #[derive(Debug, Default)]
+    struct ScriptedFaults {
+        stall_node: Option<(NodeId, u64)>,
+        down_link: Option<(NodeId, Direction, u64)>,
+        flip_mask: u32,
+        drop_at: Option<NodeId>,
+    }
+
+    impl crate::FaultHook for ScriptedFaults {
+        fn any_faults_at(&mut self, _cycle: u64) -> bool {
+            true
+        }
+        fn link_down(&mut self, node: NodeId, dir: Direction, cycle: u64) -> bool {
+            matches!(self.down_link, Some((n, d, until)) if n == node && d == dir && cycle < until)
+        }
+        fn router_stalled(&mut self, node: NodeId, cycle: u64) -> bool {
+            matches!(self.stall_node, Some((n, until)) if n == node && cycle < until)
+        }
+        fn packet_fault(&mut self, node: NodeId, _cycle: u64, _p: &Packet) -> crate::FaultAction {
+            if self.drop_at == Some(node) {
+                crate::FaultAction::drop_packet()
+            } else {
+                crate::FaultAction::flip(self.flip_mask)
+            }
+        }
+    }
+
+    fn faulty_net(w: u16, h: u16, faults: ScriptedFaults) -> Network {
+        let mut n = net(w, h);
+        n.set_fault_hook(Box::new(faults));
+        n
+    }
+
+    #[test]
+    fn stalled_router_delays_but_delivers() {
+        let baseline = {
+            let mut n = net(4, 1);
+            n.inject(Packet::power_request(NodeId(0), NodeId(3), 7))
+                .unwrap();
+            assert!(n.run_until_idle(1_000));
+            n.drain_ejected()[0].latency
+        };
+        let mut n = faulty_net(
+            4,
+            1,
+            ScriptedFaults {
+                stall_node: Some((NodeId(1), 50)),
+                ..ScriptedFaults::default()
+            },
+        );
+        n.inject(Packet::power_request(NodeId(0), NodeId(3), 7))
+            .unwrap();
+        assert!(n.run_until_idle(1_000), "stall must end, not deadlock");
+        let out = n.drain_ejected();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].packet.payload(), 7);
+        assert!(!out[0].modified);
+        assert!(
+            out[0].latency > baseline + 20,
+            "stall did not delay: {} vs {}",
+            out[0].latency,
+            baseline
+        );
+    }
+
+    #[test]
+    fn downed_link_delays_but_delivers() {
+        let mut n = faulty_net(
+            4,
+            1,
+            ScriptedFaults {
+                down_link: Some((NodeId(1), Direction::East, 60)),
+                ..ScriptedFaults::default()
+            },
+        );
+        n.inject(Packet::power_request(NodeId(0), NodeId(3), 9))
+            .unwrap();
+        assert!(
+            n.run_until_idle(1_000),
+            "link outage must end, not deadlock"
+        );
+        let out = n.drain_ejected();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].packet.payload(), 9);
+        assert!(out[0].latency > 60, "latency {}", out[0].latency);
+    }
+
+    #[test]
+    fn payload_flip_fault_marks_packet_modified() {
+        let mut n = faulty_net(
+            2,
+            1,
+            ScriptedFaults {
+                flip_mask: 0b1,
+                ..ScriptedFaults::default()
+            },
+        );
+        n.inject(Packet::power_request(NodeId(0), NodeId(1), 0b100))
+            .unwrap();
+        assert!(n.run_until_idle(1_000));
+        let out = n.drain_ejected();
+        assert_eq!(out.len(), 1);
+        // Flipped once per router on the two-node path: 0b100 ^ 1 ^ 1 at the
+        // source and destination routers.
+        assert_eq!(out[0].packet.payload(), 0b100);
+        assert!(out[0].modified, "fault corruption must be observable");
+    }
+
+    #[test]
+    fn packet_drop_fault_sinks_cleanly() {
+        let mut n = faulty_net(
+            4,
+            1,
+            ScriptedFaults {
+                drop_at: Some(NodeId(2)),
+                ..ScriptedFaults::default()
+            },
+        );
+        for i in 0..4 {
+            n.inject(Packet::new(NodeId(3), NodeId(0), PacketKind::Data, i))
+                .unwrap();
+        }
+        assert!(n.run_until_idle(50_000), "fault sink leaked resources");
+        assert_eq!(n.stats().dropped_packets(), 4);
+        assert_eq!(n.stats().delivered_packets(), 0);
+        assert!(n.router(NodeId(2)).is_idle());
+    }
+
+    #[test]
+    fn fault_hook_can_be_taken_back() {
+        let mut n = faulty_net(2, 1, ScriptedFaults::default());
+        assert!(n.has_fault_hook());
+        assert!(n.take_fault_hook().is_some());
+        assert!(!n.has_fault_hook());
+        assert!(n.take_fault_hook().is_none());
     }
 }

@@ -83,14 +83,33 @@ impl AllocatorKind {
 
 /// Clamps grants so they satisfy the allocator contract exactly: each grant
 /// in `[0, request]` and the total within `budget_mw`.
+///
+/// Hostile inputs must not escape: a `NaN` request caps its grant at zero, a
+/// `NaN` grant becomes zero, and every grant is additionally capped at the
+/// budget so an infinite request can never push the total to `∞` (where the
+/// rescale `budget / total` would turn *other* cores' grants into
+/// `∞ × 0 = NaN`).
 fn enforce_contract(grants: &mut [PowerGrant], requests: &[PowerRequest], budget_mw: f64) {
+    let budget = if budget_mw.is_nan() {
+        0.0
+    } else {
+        budget_mw.clamp(0.0, f64::MAX)
+    };
     for (g, r) in grants.iter_mut().zip(requests) {
         debug_assert_eq!(g.core, r.core);
-        g.milliwatts = g.milliwatts.clamp(0.0, r.milliwatts.max(0.0));
+        let ceiling = if r.milliwatts.is_nan() {
+            0.0
+        } else {
+            r.milliwatts.max(0.0)
+        };
+        if g.milliwatts.is_nan() {
+            g.milliwatts = 0.0;
+        }
+        g.milliwatts = g.milliwatts.clamp(0.0, ceiling.min(budget));
     }
     let total: f64 = grants.iter().map(|g| g.milliwatts).sum();
-    if total > budget_mw && total > 0.0 {
-        let scale = budget_mw.max(0.0) / total;
+    if total > budget && total > 0.0 {
+        let scale = budget / total;
         for g in grants.iter_mut() {
             g.milliwatts *= scale;
         }
@@ -449,10 +468,22 @@ impl PowerAllocator for MarketAllocator {
         // Rebate unmet demand into balances; satisfied bidders decay back
         // towards the neutral balance of 1.0.
         for (g, r) in grants.iter().zip(requests) {
-            let bid = r.milliwatts.max(0.0);
+            let bid = if r.milliwatts.is_nan() {
+                0.0
+            } else {
+                r.milliwatts.max(0.0)
+            };
             let balance = self.balances.entry(r.core).or_insert(1.0);
             if bid > 0.0 && g.milliwatts < bid {
-                *balance += self.rebate * (bid - g.milliwatts) / bid;
+                // An infinite bid is fully unmet by definition; dividing by
+                // it would make the unmet fraction `∞/∞ = NaN` and poison
+                // the balance for every future epoch.
+                let unmet = if bid.is_finite() {
+                    (bid - g.milliwatts) / bid
+                } else {
+                    1.0
+                };
+                *balance += self.rebate * unmet;
             } else {
                 *balance = 1.0 + (*balance - 1.0) * 0.5;
             }
@@ -673,5 +704,159 @@ mod tests {
         for mut a in all_allocators() {
             assert!(a.allocate(&[], 1_000.0, &m).is_empty());
         }
+    }
+
+    /// Asserts the full allocator contract on a hostile request mix: one
+    /// grant per request, each finite, non-negative, within the (finite
+    /// part of the) request, total within budget.
+    fn assert_contract_on(
+        a: &mut dyn PowerAllocator,
+        requests: &[PowerRequest],
+        budget: f64,
+        m: &PowerModel,
+    ) {
+        let grants = a.allocate(requests, budget, m);
+        assert_eq!(grants.len(), requests.len(), "{}", a.name());
+        let mut total = 0.0;
+        for (g, r) in grants.iter().zip(requests) {
+            assert_eq!(g.core, r.core, "{}", a.name());
+            assert!(
+                g.milliwatts.is_finite(),
+                "{} produced a non-finite grant {} for request {}",
+                a.name(),
+                g.milliwatts,
+                r.milliwatts
+            );
+            assert!(g.milliwatts >= 0.0, "{} negative grant", a.name());
+            if r.milliwatts.is_finite() {
+                assert!(
+                    g.milliwatts <= r.milliwatts.max(0.0) + 1e-9,
+                    "{} granted {} over request {}",
+                    a.name(),
+                    g.milliwatts,
+                    r.milliwatts
+                );
+            }
+            total += g.milliwatts;
+        }
+        assert!(
+            total <= budget + 1e-6,
+            "{} exceeded budget: {total} > {budget}",
+            a.name()
+        );
+    }
+
+    #[test]
+    fn nan_request_poisons_nothing() {
+        let m = model();
+        let requests = reqs(&[f64::NAN, 1_000.0, 2_000.0]);
+        for mut a in all_allocators() {
+            assert_contract_on(a.as_mut(), &requests, 2_000.0, &m);
+            let grants = a.allocate(&requests, 2_000.0, &m);
+            assert!(
+                grants[0].milliwatts < 1e-9,
+                "{} granted power to a NaN request",
+                a.name()
+            );
+            // The honest requesters still share the budget.
+            let honest: f64 = grants[1].milliwatts + grants[2].milliwatts;
+            assert!(
+                honest > 1_000.0,
+                "{} starved honest cores: {honest}",
+                a.name()
+            );
+        }
+    }
+
+    #[test]
+    fn negative_request_poisons_nothing() {
+        let m = model();
+        let requests = reqs(&[-500.0, f64::NEG_INFINITY, 1_500.0]);
+        for mut a in all_allocators() {
+            assert_contract_on(a.as_mut(), &requests, 2_000.0, &m);
+            let grants = a.allocate(&requests, 2_000.0, &m);
+            assert!(grants[0].milliwatts < 1e-9, "{}", a.name());
+            assert!(grants[1].milliwatts < 1e-9, "{}", a.name());
+            // DP quantises grants to DVFS operating points, so only require
+            // the honest core to get the bulk of its request.
+            assert!(
+                grants[2].milliwatts > 1_000.0,
+                "{} mis-served the honest core: {}",
+                a.name(),
+                grants[2].milliwatts
+            );
+        }
+    }
+
+    #[test]
+    fn infinite_request_poisons_nothing() {
+        // The historical failure mode: an ∞ request drove `total` to ∞ in
+        // enforce_contract, whose rescale then multiplied every other grant
+        // by `budget/∞ = 0` — or worse, `∞ × 0 = NaN` for the ∞ grant.
+        let m = model();
+        let requests = reqs(&[f64::INFINITY, 1_000.0, 1_000.0]);
+        for mut a in all_allocators() {
+            assert_contract_on(a.as_mut(), &requests, 2_500.0, &m);
+        }
+    }
+
+    #[test]
+    fn hostile_mix_respects_contract_at_every_budget() {
+        let m = model();
+        let requests = reqs(&[
+            f64::NAN,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            -1.0,
+            0.0,
+            1_800.0,
+        ]);
+        for mut a in all_allocators() {
+            for budget in [0.0, 1.0, 900.0, 1e9] {
+                assert_contract_on(a.as_mut(), &requests, budget, &m);
+            }
+        }
+    }
+
+    #[test]
+    fn market_balances_survive_infinite_bids() {
+        let m = model();
+        let mut market = MarketAllocator::default();
+        let requests = reqs(&[f64::INFINITY, 1_000.0]);
+        for _ in 0..10 {
+            market.allocate(&requests, 1_500.0, &m);
+        }
+        for core in [0u16, 1] {
+            let balance = market.balance(core);
+            assert!(
+                balance.is_finite() && (0.25..=8.0).contains(&balance),
+                "balance for core {core} poisoned: {balance}"
+            );
+        }
+        // The market must still function for honest bidders afterwards.
+        let grants = market.allocate(&reqs(&[500.0, 500.0]), 1_500.0, &m);
+        assert!((grants[0].milliwatts - 500.0).abs() < 1e-6);
+        assert!((grants[1].milliwatts - 500.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pi_controller_state_survives_hostile_epochs() {
+        let m = model();
+        let mut pi = PiAllocator::default();
+        for _ in 0..5 {
+            pi.allocate(&reqs(&[f64::INFINITY, f64::NAN]), 1_000.0, &m);
+        }
+        assert!(pi.throttle().is_finite());
+        // After the hostile episode the controller still converges.
+        let requests = reqs(&[2_000.0; 10]);
+        let mut total = 0.0;
+        for _ in 0..50 {
+            let grants = pi.allocate(&requests, 8_000.0, &m);
+            total = grants.iter().map(|g| g.milliwatts).sum();
+        }
+        assert!(
+            (total - 8_000.0).abs() / 8_000.0 < 0.05,
+            "PI did not recover from hostile inputs: {total}"
+        );
     }
 }

@@ -41,6 +41,6 @@ pub use alloc::{
     PowerAllocator,
 };
 pub use error::PowerError;
-pub use manager::{EpochSummary, GlobalManager};
-pub use model::{DvfsTable, FrequencyLevel, PowerModel};
+pub use manager::{DegradationCounters, EpochSummary, GlobalManager, HardeningConfig};
+pub use model::{DvfsTable, FrequencyLevel, PowerModel, RequestEnvelope};
 pub use request::{PowerGrant, PowerRequest};

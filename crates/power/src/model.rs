@@ -196,6 +196,51 @@ impl PowerModel {
         }
         chosen
     }
+
+    /// The plausibility envelope of an honest per-core power request under
+    /// this model: a core asks for somewhere between zero (idle /
+    /// power-gated) and its top operating point's draw. Anything outside —
+    /// negative, above peak, or non-finite — cannot be an honest request
+    /// and is either transport corruption or an attack.
+    ///
+    /// This is the single source of envelope logic shared by the manager's
+    /// plausibility clamp and the defense layer's anomaly detector.
+    #[must_use]
+    pub fn request_envelope(&self) -> RequestEnvelope {
+        RequestEnvelope {
+            min_mw: 0.0,
+            max_mw: self.peak_power_mw(),
+        }
+    }
+}
+
+/// The closed interval of plausible per-core request values (mW), derived
+/// from a [`PowerModel`] via [`PowerModel::request_envelope`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RequestEnvelope {
+    /// Lowest plausible request (idle).
+    pub min_mw: f64,
+    /// Highest plausible request (the top DVFS level's draw).
+    pub max_mw: f64,
+}
+
+impl RequestEnvelope {
+    /// Whether `mw` is a plausible honest request.
+    #[must_use]
+    pub fn contains(&self, mw: f64) -> bool {
+        mw.is_finite() && mw >= self.min_mw && mw <= self.max_mw
+    }
+
+    /// Pulls `mw` into the envelope: `NaN` lands on the floor (a corrupted
+    /// value earns nothing), everything else clamps to the interval.
+    #[must_use]
+    pub fn clamp(&self, mw: f64) -> f64 {
+        if mw.is_nan() {
+            self.min_mw
+        } else {
+            mw.clamp(self.min_mw, self.max_mw)
+        }
+    }
 }
 
 #[cfg(test)]
@@ -243,6 +288,23 @@ mod tests {
         let p2 = m.power_mw(FrequencyLevel(2));
         let p3 = m.power_mw(FrequencyLevel(3));
         assert_eq!(m.level_for_grant((p2 + p3) / 2.0), Some(FrequencyLevel(2)));
+    }
+
+    #[test]
+    fn envelope_classifies_and_clamps() {
+        let m = PowerModel::default_45nm();
+        let env = m.request_envelope();
+        assert!(env.contains(0.0));
+        assert!(env.contains(m.peak_power_mw()));
+        assert!(!env.contains(m.peak_power_mw() + 1.0));
+        assert!(!env.contains(-1.0));
+        assert!(!env.contains(f64::NAN));
+        assert!(!env.contains(f64::INFINITY));
+        assert_eq!(env.clamp(f64::NAN), 0.0);
+        assert_eq!(env.clamp(f64::NEG_INFINITY), 0.0);
+        assert_eq!(env.clamp(f64::INFINITY), m.peak_power_mw());
+        assert_eq!(env.clamp(-5.0), 0.0);
+        assert_eq!(env.clamp(123.0), 123.0);
     }
 
     #[test]

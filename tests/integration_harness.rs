@@ -37,7 +37,7 @@ fn parallel_cached_repro_is_byte_identical_to_sequential() {
     let opts = RunOptions {
         workers: 4,
         cache: Some(ResultCache::for_outdir(&par_dir).unwrap()),
-        progress: false,
+        ..RunOptions::sequential()
     };
     let outcome = run_repro(ReproScale::Tiny, &par_dir, &opts).expect("harness repro");
     assert_eq!(outcome.failed, 0);
@@ -88,7 +88,7 @@ fn interrupted_run_resumes_only_missing_jobs() {
     let opts = |cache: ResultCache| RunOptions {
         workers: 2,
         cache: Some(cache),
-        progress: false,
+        ..RunOptions::sequential()
     };
     let first = run_jobs(&jobs[..k], &opts(cache.clone()), &Journal::disabled());
     assert!(first.iter().all(|r| !r.cache_hit));
@@ -142,8 +142,7 @@ fn panicking_job_fails_alone_and_is_journalled() {
         &jobs,
         &RunOptions {
             workers: 2,
-            cache: None,
-            progress: false,
+            ..RunOptions::sequential()
         },
         &journal,
     );
