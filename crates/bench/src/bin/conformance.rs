@@ -1,0 +1,145 @@
+//! Differential-conformance driver: replays the checked-in regression
+//! corpus, then sweeps random scenarios through the optimized network and
+//! the dense reference oracle in lock-step.
+//!
+//! Every divergence is shrunk to a minimal replayable spec, printed, and
+//! appended to `results/conformance_failures.txt` so CI can upload the
+//! artifact; the process exits non-zero if anything diverged.
+//!
+//! The random sweep dispatches [`JobSpec::Conformance`] batches through the
+//! harness worker pool, so campaigns get the same journalling, retry and
+//! parallelism machinery as every other experiment job.
+//!
+//! Usage: `conformance [--smoke] [--scenarios N] [--seed S] [--jobs N] [--out DIR]`
+//!   --smoke        200 scenarios (CI budget, well under a minute in release)
+//!   --scenarios N  explicit scenario count (default 1000)
+//!   --seed S       master seed (default 0x5EED)
+//!   --jobs N       worker threads for the random sweep (default 1)
+//!   --out DIR      output directory for the failure artifact (default results)
+
+use std::io::Write as _;
+use std::path::PathBuf;
+
+use htpb_harness::{run_jobs, JobOutput, JobSpec, Journal, RunOptions};
+use htpb_testkit::{run_differential, DiffConfig, Scenario};
+
+fn parse_flag(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let count: u64 = parse_flag(&args, "--scenarios")
+        .map(|v| v.parse().expect("--scenarios wants a number"))
+        .unwrap_or(if smoke { 200 } else { 1000 });
+    let seed: u64 = parse_flag(&args, "--seed")
+        .map(|v| {
+            let v = v.strip_prefix("0x").unwrap_or(&v);
+            u64::from_str_radix(v, 16)
+                .or_else(|_| v.parse())
+                .expect("--seed wants a number")
+        })
+        .unwrap_or(0x5EED);
+    let workers: usize = parse_flag(&args, "--jobs")
+        .map(|v| v.parse().expect("--jobs wants a number"))
+        .unwrap_or(1)
+        .max(1);
+    let outdir = PathBuf::from(parse_flag(&args, "--out").unwrap_or_else(|| "results".into()));
+
+    let config = DiffConfig::default();
+    let mut failures: Vec<(String, String)> = Vec::new();
+
+    // Phase 1: the regression corpus — every shrunk failure ever found.
+    let corpus = include_str!("../../../testkit/corpus/conformance.txt");
+    let mut corpus_n = 0u64;
+    for line in corpus.lines().map(str::trim) {
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        corpus_n += 1;
+        let scenario = match Scenario::from_spec(line) {
+            Ok(s) => s,
+            Err(e) => {
+                failures.push((
+                    line.to_string(),
+                    format!("corpus spec failed to parse: {e}"),
+                ));
+                continue;
+            }
+        };
+        if let Some(d) = run_differential(&scenario, &config) {
+            failures.push((line.to_string(), format!("corpus replay diverged: {d}")));
+        }
+    }
+    println!("corpus: {corpus_n} scenarios, {} failures", failures.len());
+
+    // Phase 2: random sweep as harness jobs. Scenario i of the sweep uses
+    // seed + i regardless of chunking, so any worker count explores the
+    // identical scenario set; each job shrinks its own divergences.
+    const CHUNK: u64 = 100;
+    let jobs: Vec<JobSpec> = (0..count)
+        .step_by(CHUNK as usize)
+        .map(|offset| JobSpec::Conformance {
+            scenarios: CHUNK.min(count - offset),
+            seed: seed.wrapping_add(offset),
+        })
+        .collect();
+    let opts = RunOptions {
+        workers,
+        ..RunOptions::sequential()
+    };
+    let mut passed = 0u64;
+    for report in run_jobs(&jobs, &opts, &Journal::disabled()) {
+        match report.output {
+            Ok(JobOutput::Conformance {
+                passed: p,
+                failures: shrunk,
+            }) => {
+                passed += p;
+                for spec in shrunk {
+                    let detail = run_differential(
+                        &Scenario::from_spec(&spec).expect("job outputs valid specs"),
+                        &config,
+                    )
+                    .map(|d| d.to_string())
+                    .unwrap_or_else(|| "shrunk scenario stopped reproducing".to_string());
+                    eprintln!("divergence (job {}): {spec}\n  {detail}", report.spec.id());
+                    failures.push((spec, detail));
+                }
+            }
+            Ok(other) => failures.push((
+                report.spec.id(),
+                format!("conformance job returned wrong output variant: {other:?}"),
+            )),
+            Err(e) => failures.push((report.spec.id(), format!("conformance job crashed: {e}"))),
+        }
+    }
+    println!("random sweep: {passed}/{count} scenarios agreed (seed {seed:#x})");
+
+    if failures.is_empty() {
+        println!("conformance: PASS");
+        return;
+    }
+    std::fs::create_dir_all(&outdir).expect("create output dir");
+    let path = outdir.join("conformance_failures.txt");
+    let mut f = std::fs::File::create(&path).expect("create failure artifact");
+    writeln!(
+        f,
+        "# Shrunk divergence specs (seed {seed:#x}, {count} scenarios).\n\
+         # Replay: add the spec line to crates/testkit/corpus/conformance.txt\n\
+         # or feed it to Scenario::from_spec; see docs/TESTING.md."
+    )
+    .unwrap();
+    for (spec, detail) in &failures {
+        writeln!(f, "{spec}\n# ^ {detail}").unwrap();
+    }
+    eprintln!(
+        "conformance: FAIL — {} divergences, specs written to {}",
+        failures.len(),
+        path.display()
+    );
+    std::process::exit(1);
+}

@@ -172,6 +172,25 @@ pub enum JobSpec {
         /// Trojan duty cycle in tenths (0 = faults only, no attack).
         duty_tenths: u32,
     },
+    /// A batch of differential-conformance scenarios: each random scenario
+    /// derived from `seed` runs through the optimized network and the dense
+    /// reference oracle in lock-step (see `htpb-testkit`); any divergence is
+    /// shrunk to a minimal replayable spec before being reported.
+    Conformance {
+        /// Number of random scenarios in this batch.
+        scenarios: u64,
+        /// Master seed; scenario `i` uses `seed.wrapping_add(i)`.
+        seed: u64,
+    },
+    /// Test-only probe that fails (panics) on its first execution and
+    /// succeeds once `marker` exists on disk — exercises the pool's
+    /// retry-on-failure path. Hidden because it is stateful by design and
+    /// therefore must never be cached or used in a real campaign.
+    #[doc(hidden)]
+    FlakyProbe {
+        /// Path of the marker file recording that one attempt already ran.
+        marker: String,
+    },
 }
 
 impl JobSpec {
@@ -185,6 +204,8 @@ impl JobSpec {
             JobSpec::OptCompare { .. } => "opt",
             JobSpec::RegressionMix { .. } => "regression",
             JobSpec::Resilience { .. } => "resil",
+            JobSpec::Conformance { .. } => "conf",
+            JobSpec::FlakyProbe { .. } => "flaky",
         }
     }
 
@@ -248,6 +269,10 @@ impl JobSpec {
                 allocator.name(),
                 if *hardened { "hard" } else { "soft" }
             ),
+            JobSpec::Conformance { scenarios, seed } => {
+                format!("conf-n{scenarios}-s{seed:x}")
+            }
+            JobSpec::FlakyProbe { marker } => format!("flaky-{marker}"),
         }
     }
 
@@ -343,6 +368,34 @@ impl JobSpec {
                     faults_applied: p.faults_applied,
                 }
             }
+            JobSpec::Conformance { scenarios, seed } => {
+                let report = htpb_testkit::run_batch(*seed, *scenarios);
+                let config = htpb_testkit::DiffConfig::default();
+                let failures = report
+                    .failures
+                    .iter()
+                    .map(|(spec, _)| {
+                        let scenario = htpb_testkit::Scenario::from_spec(spec)
+                            .expect("run_batch emits well-formed specs");
+                        htpb_testkit::shrink(&scenario, |c| {
+                            htpb_testkit::run_differential(c, &config).is_some()
+                        })
+                        .to_spec()
+                    })
+                    .collect();
+                JobOutput::Conformance {
+                    passed: report.passed,
+                    failures,
+                }
+            }
+            JobSpec::FlakyProbe { marker } => {
+                let path = std::path::Path::new(marker);
+                if path.exists() {
+                    return JobOutput::Rate(1.0);
+                }
+                std::fs::write(path, b"attempted\n").expect("write flaky-probe marker");
+                panic!("flaky probe: first attempt always fails");
+            }
         }
     }
 }
@@ -406,6 +459,14 @@ pub enum JobOutput {
         /// Ground-truth faults the plan applied during the attacked arm.
         faults_applied: u64,
     },
+    /// One conformance batch: how many scenarios agreed, plus the shrunk
+    /// replayable spec of every divergence (empty on a clean batch).
+    Conformance {
+        /// Scenarios that ran clean.
+        passed: u64,
+        /// Shrunk `Scenario` spec strings of every divergence found.
+        failures: Vec<String>,
+    },
 }
 
 impl JobOutput {
@@ -461,6 +522,14 @@ impl JobOutput {
                 ("rejects", Value::Int(*rejects as i64)),
                 ("clamps", Value::Int(*clamps as i64)),
                 ("faults_applied", Value::Int(*faults_applied as i64)),
+            ]),
+            JobOutput::Conformance { passed, failures } => Value::obj(vec![
+                ("kind", Value::Str("conf".into())),
+                ("passed", Value::Int(*passed as i64)),
+                (
+                    "failures",
+                    Value::Arr(failures.iter().map(|s| Value::Str(s.clone())).collect()),
+                ),
             ]),
             JobOutput::Samples(samples) => Value::obj(vec![
                 ("kind", Value::Str("samples".into())),
@@ -521,6 +590,18 @@ impl JobOutput {
                 clamps: u64::try_from(v.get("clamps")?.as_i64()?).ok()?,
                 faults_applied: u64::try_from(v.get("faults_applied")?.as_i64()?).ok()?,
             }),
+            "conf" => {
+                let failures = v
+                    .get("failures")?
+                    .as_arr()?
+                    .iter()
+                    .map(|s| s.as_str().map(str::to_string))
+                    .collect::<Option<Vec<String>>>()?;
+                Some(JobOutput::Conformance {
+                    passed: u64::try_from(v.get("passed")?.as_i64()?).ok()?,
+                    failures,
+                })
+            }
             "samples" => {
                 let rows = v.get("rows")?.as_arr()?;
                 let mut samples = Vec::with_capacity(rows.len());
@@ -663,11 +744,63 @@ mod tests {
                 clamps: 0,
                 faults_applied: 450,
             },
+            JobOutput::Conformance {
+                passed: 199,
+                failures: vec![
+                    "mesh=2x2;routing=xy;cycles=10;rate=100;pr=0;seed=0x1;trojans=;duty=0;\
+                     manager=0;fseed=0x0;link=0@16;stall=0@16;flip=0;drop=0"
+                        .into(),
+                ],
+            },
+            JobOutput::Conformance {
+                passed: 200,
+                failures: vec![],
+            },
         ];
         for out in &outputs {
             let text = out.to_json().render();
             let back = JobOutput::from_json(&crate::json::parse(&text).unwrap()).unwrap();
             assert_eq!(&back, out, "{text}");
+        }
+    }
+
+    #[test]
+    fn conformance_id_encodes_every_parameter() {
+        let base = JobSpec::Conformance {
+            scenarios: 100,
+            seed: 0x5EED,
+        };
+        assert_eq!(base.id(), "conf-n100-s5eed");
+        assert_ne!(
+            JobSpec::Conformance {
+                scenarios: 200,
+                seed: 0x5EED
+            }
+            .id(),
+            base.id()
+        );
+        assert_ne!(
+            JobSpec::Conformance {
+                scenarios: 100,
+                seed: 0x5EEE
+            }
+            .id(),
+            base.id()
+        );
+    }
+
+    #[test]
+    fn conformance_job_runs_a_clean_batch() {
+        let spec = JobSpec::Conformance {
+            scenarios: 2,
+            seed: 0xC0DE,
+        };
+        match spec.execute() {
+            JobOutput::Conformance { passed, failures } => {
+                assert_eq!(passed, 2, "failures: {failures:?}");
+                assert!(failures.is_empty(), "failures: {failures:?}");
+            }
+            other => panic!("wrong output variant: {other:?}"),
         }
     }
 

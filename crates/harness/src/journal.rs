@@ -215,6 +215,41 @@ mod tests {
         let _ = fs::remove_file(&path);
     }
 
+    /// Chosen behaviour for corruption *inside* the file (not just a
+    /// truncated tail): the bad line is skipped with a warning and every
+    /// valid line after it still parses. A resumed campaign therefore keeps
+    /// all completions it can still read — it never discards the journal
+    /// suffix behind a torn write, and never fails the resume.
+    #[test]
+    fn read_back_tolerates_a_corrupt_line_mid_file() {
+        let path =
+            std::env::temp_dir().join(format!("htpb-journal-midfile-{}.jsonl", std::process::id()));
+        let _ = fs::remove_file(&path);
+        let j = Journal::open(&path).unwrap();
+        j.job("fig3-a", "fig3", 0, false, true, 0.1, None);
+        drop(j);
+        // A torn write in the middle of the file (e.g. two processes racing
+        // on a journal without the mutex, or disk corruption)...
+        let mut text = fs::read_to_string(&path).unwrap();
+        text.push_str("{\"event\":\"job\",\"id\":\"fig3-lost\",\"ok\":tru\u{0}garbage\n");
+        fs::write(&path, text).unwrap();
+        // ...followed by a healthy writer appending more completions.
+        let j = Journal::open(&path).unwrap();
+        j.job("fig3-b", "fig3", 0, false, true, 0.1, None);
+        j.job("fig3-c", "fig3", 0, false, false, 0.1, Some("boom"));
+        drop(j);
+
+        let events = Journal::read_events(&path).unwrap();
+        assert_eq!(events.len(), 3, "valid lines on both sides are kept");
+        assert_eq!(
+            Journal::completed_job_ids(&path).unwrap(),
+            vec!["fig3-a".to_string(), "fig3-b".to_string()],
+            "completions after the corrupt line are not lost; the corrupt \
+             job itself is treated as never-completed (it will re-run)"
+        );
+        let _ = fs::remove_file(&path);
+    }
+
     #[test]
     fn read_back_of_missing_journal_is_empty() {
         let path = std::env::temp_dir().join("htpb-journal-does-not-exist.jsonl");

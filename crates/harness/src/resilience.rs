@@ -407,4 +407,66 @@ mod tests {
         let _ = fs::remove_dir_all(&dir_a);
         let _ = fs::remove_dir_all(&dir_b);
     }
+
+    /// Graceful degradation at a fault seed other than the standard
+    /// [`FAULT_SEED`]: the hardened faults-only cells must keep victim
+    /// throughput within `[RETENTION_BOUND, 1 / RETENTION_BOUND]` of the
+    /// fault-free cell, and the TSV must be byte-identical whether the grid
+    /// runs sequentially or on four workers.
+    #[test]
+    fn second_seed_retention_bound_and_worker_count_invariance() {
+        const SECOND_SEED: u64 = 0xBEEF;
+        let plan = ResiliencePlan::custom(
+            CampaignScale::Tiny,
+            Mix::Mix1,
+            &[0, 10_000],
+            &[AllocatorKind::Greedy],
+            &[true],
+            &[0],
+            SECOND_SEED,
+        );
+        let dir_seq = tmpdir("seed2-seq");
+        let dir_par = tmpdir("seed2-par");
+        let seq = run_resilience_plan(&plan, "tiny", &dir_seq, &RunOptions::sequential()).unwrap();
+        let par = run_resilience_plan(
+            &plan,
+            "tiny",
+            &dir_par,
+            &RunOptions {
+                workers: 4,
+                ..RunOptions::sequential()
+            },
+        )
+        .unwrap();
+        assert_eq!(seq.failed, 0);
+        assert_eq!(par.failed, 0);
+        let tsv_seq = fs::read_to_string(dir_seq.join("resilience.tsv")).unwrap();
+        let tsv_par = fs::read_to_string(dir_par.join("resilience.tsv")).unwrap();
+        assert_eq!(
+            tsv_seq, tsv_par,
+            "resilience.tsv must be byte-identical across --jobs 1 and --jobs 4"
+        );
+
+        // Retention from the TSV itself (column 7 is victim_theta): the
+        // faulty hardened cell against its fault-free reference.
+        let victim_theta = |drop_ppm: &str| -> f64 {
+            tsv_seq
+                .lines()
+                .map(|l| l.split('\t').collect::<Vec<_>>())
+                .find(|cols| cols.first() == Some(&"greedy") && cols.get(1) == Some(&drop_ppm))
+                .unwrap_or_else(|| panic!("no greedy @{drop_ppm}ppm row in\n{tsv_seq}"))[6]
+                .parse()
+                .unwrap()
+        };
+        let reference = victim_theta("0");
+        assert!(reference > 0.0, "fault-free victim theta must be positive");
+        let retention = victim_theta("10000") / reference;
+        assert!(
+            (RETENTION_BOUND..=1.0 / RETENTION_BOUND).contains(&retention),
+            "seed {SECOND_SEED:#x}: retention {retention:.3} outside [{RETENTION_BOUND}, {:.2}]",
+            1.0 / RETENTION_BOUND
+        );
+        let _ = fs::remove_dir_all(&dir_seq);
+        let _ = fs::remove_dir_all(&dir_par);
+    }
 }

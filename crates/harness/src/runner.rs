@@ -161,7 +161,10 @@ pub fn run_jobs(jobs: &[JobSpec], opts: &RunOptions, journal: &Journal) -> Vec<J
 
 /// Runs one job under the pool's timeout/retry policy. A timed-out attempt
 /// is journalled (`job_timeout`) and retried (`job_retry`) until the retry
-/// budget runs out; the final attempt's outcome is returned.
+/// budget runs out; a failed (panicking) attempt is likewise retried — a
+/// crashed worker machine and a hung one are the same event to a campaign.
+/// The final attempt's outcome is returned. Cache hits are never retried
+/// (they are `Ok` by construction).
 fn execute_with_retries(
     spec: &JobSpec,
     opts: &RunOptions,
@@ -183,17 +186,18 @@ fn execute_with_retries(
                     ),
                 ],
             );
-            if attempt < opts.retries {
-                attempt += 1;
-                journal.record(
-                    "job_retry",
-                    vec![
-                        ("id", Value::Str(spec.id())),
-                        ("attempt", Value::Int(i64::from(attempt) + 1)),
-                    ],
-                );
-                continue;
-            }
+        }
+        let retryable = timed_out || (!cache_hit && output.is_err());
+        if retryable && attempt < opts.retries {
+            attempt += 1;
+            journal.record(
+                "job_retry",
+                vec![
+                    ("id", Value::Str(spec.id())),
+                    ("attempt", Value::Int(i64::from(attempt) + 1)),
+                ],
+            );
+            continue;
         }
         return (output, cache_hit);
     }
@@ -410,5 +414,57 @@ mod tests {
         );
         assert_eq!(retries, jobs.len(), "exactly one retry per job\n{text}");
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn failing_job_is_retried_and_recovers() {
+        let pid = std::process::id();
+        let marker = std::env::temp_dir().join(format!("htpb-runner-flaky-{pid}.marker"));
+        let journal_path = std::env::temp_dir().join(format!("htpb-runner-flaky-{pid}.jsonl"));
+        let _ = std::fs::remove_file(&marker);
+        let _ = std::fs::remove_file(&journal_path);
+        let journal = Journal::open(&journal_path).unwrap();
+        // The probe panics on its first attempt (and drops a marker file),
+        // then succeeds; with one retry the pool must deliver the success.
+        let jobs = vec![JobSpec::FlakyProbe {
+            marker: marker.to_string_lossy().into_owned(),
+        }];
+        let reports = run_jobs(
+            &jobs,
+            &RunOptions {
+                retries: 1,
+                ..RunOptions::sequential()
+            },
+            &journal,
+        );
+        assert_eq!(reports.len(), 1);
+        assert_eq!(
+            reports[0].output.as_ref().unwrap(),
+            &JobOutput::Rate(1.0),
+            "retry must recover the flaky job"
+        );
+        let text = std::fs::read_to_string(&journal_path).unwrap();
+        let retry_at = text
+            .find("\"event\":\"job_retry\"")
+            .expect("journal records the retry");
+        let ok_at = text
+            .find("\"ok\":true")
+            .expect("journal records the eventual success");
+        assert!(
+            retry_at < ok_at,
+            "retry must be journalled before the success\n{text}"
+        );
+        assert_eq!(
+            text.matches("\"event\":\"job_retry\"").count(),
+            1,
+            "exactly one retry\n{text}"
+        );
+        assert_eq!(
+            text.matches("\"event\":\"job_timeout\"").count(),
+            0,
+            "a plain failure is not a timeout\n{text}"
+        );
+        let _ = std::fs::remove_file(&marker);
+        let _ = std::fs::remove_file(&journal_path);
     }
 }

@@ -57,7 +57,7 @@ pub use network::{DeliveredPacket, Network, NetworkConfig};
 pub use packet::{
     ActivationSignal, ConfigCommand, Packet, PacketKind, RawPacket, PACKET_HEADER_WORDS,
 };
-pub use router::{Router, RouterConfig};
+pub use router::{Router, RouterConfig, VcSnapshot};
 pub use routing::{
     OddEvenRouting, RouteCandidates, RoutingAlgorithm, RoutingKind, WestFirstRouting, XyRouting,
 };

@@ -157,6 +157,9 @@ pub struct Network<I: PacketInspector = NullInspector> {
     scratch: Vec<u32>,
     /// Reusable buffer for deferred credit returns in switch traversal.
     credit_scratch: Vec<(NodeId, Direction, usize, bool)>,
+    /// Test-only seeded bug ([`Network::set_rr_skew`]): advance the switch
+    /// round-robin pointer by 2 instead of 1 after each grant.
+    rr_skew: bool,
 }
 
 impl Network<NullInspector> {
@@ -199,7 +202,18 @@ impl<I: PacketInspector> Network<I> {
             neighbor_tbl: config.mesh.neighbor_table(),
             scratch: Vec::new(),
             credit_scratch: Vec::new(),
+            rr_skew: false,
         }
+    }
+
+    /// Seeds a deliberate arbitration bug: after every switch grant the
+    /// round-robin pointer advances by 2 slots instead of 1, perturbing
+    /// fairness under contention. Exists solely so the differential oracle
+    /// in `htpb-testkit` can demonstrate that it catches (and shrinks) a
+    /// real pipeline mutation; never enable it outside that test rig.
+    #[doc(hidden)]
+    pub fn set_rr_skew(&mut self, on: bool) {
+        self.rr_skew = on;
     }
 
     /// The mesh topology.
@@ -369,6 +383,90 @@ impl<I: PacketInspector> Network<I> {
         self.stage_vc_allocation();
         self.stage_routing_and_inspection(faults_engaged);
         self.cycle += 1;
+        #[cfg(debug_assertions)]
+        self.debug_check_invariants();
+    }
+
+    /// Always-on (debug builds) end-of-cycle invariant audit: packet
+    /// conservation every cycle, plus — every 64th cycle, because they
+    /// rescan the whole mesh — flit-presence bounds, per-VC credit
+    /// conservation against downstream occupancy, and worklist consistency.
+    /// Read-only, so release behaviour is bit-identical with the checks
+    /// compiled out.
+    #[cfg(debug_assertions)]
+    fn debug_check_invariants(&self) {
+        // Flit conservation, packet granularity: every injected packet is
+        // delivered, dropped, or still tracked in flight — even under
+        // fault-induced drops.
+        assert_eq!(
+            self.in_flight.len() as u64,
+            self.stats.injected_packets()
+                - self.stats.delivered_packets()
+                - self.stats.dropped_packets(),
+            "packet conservation violated at cycle {}",
+            self.cycle
+        );
+        if !self.cycle.is_multiple_of(64) {
+            return;
+        }
+        // Flit presence: every in-flight packet keeps between 1 and
+        // flit_count() flits somewhere (queued, buffered, or on a link).
+        let buffered: usize = self.routers.iter().map(Router::buffered_flits).sum();
+        let on_links = self.links.iter().filter(|l| l.is_some()).count();
+        let present = buffered + on_links + self.queued_flits;
+        assert!(
+            present >= self.in_flight.len(),
+            "cycle {}: {} in-flight packets but only {} flits present",
+            self.cycle,
+            self.in_flight.len(),
+            present
+        );
+        assert!(
+            present <= self.in_flight.len() * crate::flit::FLITS_PER_DATA_PACKET,
+            "cycle {}: {} flits present exceed {} in-flight packets x max flits",
+            self.cycle,
+            present,
+            self.in_flight.len()
+        );
+        // Per-VC credit conservation: for every link, the upstream port's
+        // credit count plus the downstream buffer occupancy plus any flit
+        // in transit allocated to that VC must equal the buffer depth.
+        let vcs = self.routers[0].config().vcs;
+        let depth = self.routers[0].config().buffer_depth;
+        for ri in 0..self.routers.len() {
+            for dir in Direction::MESH {
+                let li = ri * 4 + dir.index();
+                let Some(down) = self.neighbor_tbl[li] else {
+                    continue;
+                };
+                let in_port = Direction::OPPOSITE_INDEX[dir.index()];
+                for vc in 0..vcs {
+                    let credits = self.routers[ri].output_credit(dir, vc);
+                    let downstream = self.routers[down.0 as usize].inputs[in_port][vc].len();
+                    let in_transit =
+                        usize::from(matches!(self.links[li], Some((_, ovc)) if ovc == vc));
+                    assert_eq!(
+                        credits + downstream + in_transit,
+                        depth,
+                        "credit conservation violated at cycle {} on node {ri} dir {dir:?} vc {vc}",
+                        self.cycle
+                    );
+                }
+            }
+        }
+        // Worklist consistency: the active set is exactly the routers
+        // holding flits, and the link set exactly the occupied slots.
+        let mut snap = Vec::new();
+        self.active.snapshot_into(&mut snap);
+        let expect: Vec<u32> = (0..self.routers.len() as u32)
+            .filter(|&i| self.routers[i as usize].buffered_flits() > 0)
+            .collect();
+        assert_eq!(snap, expect, "active set drifted at cycle {}", self.cycle);
+        self.links_occupied.snapshot_into(&mut snap);
+        let expect: Vec<u32> = (0..self.links.len() as u32)
+            .filter(|&i| self.links[i as usize].is_some())
+            .collect();
+        assert_eq!(snap, expect, "link set drifted at cycle {}", self.cycle);
     }
 
     /// Advances the network `n` cycles.
@@ -520,7 +618,8 @@ impl<I: PacketInspector> Network<I> {
                 let Some((in_port, vc)) = granted else {
                     continue;
                 };
-                self.routers[ri].sa_rr[od] = (in_port * vcs + vc + 1) % slots;
+                let bump = 1 + usize::from(self.rr_skew);
+                self.routers[ri].sa_rr[od] = (in_port * vcs + vc + bump) % slots;
                 self.routers[ri].flits_forwarded += 1;
                 let out_vc = self.routers[ri].inputs[in_port][vc].out_vc;
                 let flit = self.routers[ri]

@@ -24,6 +24,31 @@ impl Default for RouterConfig {
     }
 }
 
+/// Externally observable state of one input virtual channel at an instant.
+///
+/// The unit of comparison for differential debugging: `htpb-testkit`
+/// localizes the first diverging (cycle, router, VC) between the optimized
+/// stepper and its dense reference oracle by diffing these snapshots.
+/// Equality covers everything the pipeline stages read — occupancy, the
+/// resident packet, its RC/VA decisions and the drop flag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VcSnapshot {
+    /// Buffered flit count.
+    pub occupancy: usize,
+    /// Packet id of the front flit, if any.
+    pub front_packet: Option<u64>,
+    /// Cycle the front flit entered this buffer.
+    pub front_arrived_at: Option<u64>,
+    /// Output port chosen by routing computation for the resident packet.
+    pub route: Option<Direction>,
+    /// Downstream VC granted by VC allocation.
+    pub out_vc: Option<usize>,
+    /// Whether the resident packet's head was inspected at this router.
+    pub inspected: bool,
+    /// Whether the resident packet is being sunk by a drop order.
+    pub dropping: bool,
+}
+
 /// One mesh router: five input ports (N/S/E/W/Local) with per-port virtual
 /// channels, plus credit state for each output port's downstream buffers.
 ///
@@ -212,6 +237,39 @@ impl Router {
     #[must_use]
     pub(crate) fn output_credits(&self, dir: Direction) -> usize {
         self.outputs[dir.index()].credits.iter().sum()
+    }
+
+    /// Snapshot of one input VC's observable state (diagnostics; see
+    /// [`VcSnapshot`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `in_port >= 5` or `vc >= config.vcs`.
+    #[must_use]
+    pub fn vc_snapshot(&self, in_port: usize, vc: usize) -> VcSnapshot {
+        let ch = &self.inputs[in_port][vc];
+        VcSnapshot {
+            occupancy: ch.len(),
+            front_packet: ch.front().map(|f| f.packet_id),
+            front_arrived_at: ch.front_arrived_at(),
+            route: ch.route,
+            out_vc: ch.out_vc,
+            inspected: ch.inspected,
+            dropping: ch.dropping,
+        }
+    }
+
+    /// Free credits this router holds for one downstream VC (diagnostics).
+    #[must_use]
+    pub fn output_credit(&self, dir: Direction, vc: usize) -> usize {
+        self.outputs[dir.index()].credits[vc]
+    }
+
+    /// Whether a downstream VC is currently allocated to a packet
+    /// (diagnostics).
+    #[must_use]
+    pub fn output_allocated(&self, dir: Direction, vc: usize) -> bool {
+        self.outputs[dir.index()].allocated[vc]
     }
 
     /// Flits this router has pushed through its crossbar so far — a

@@ -55,6 +55,11 @@ impl VirtualChannel {
         self.buffer.front().map(|(_, at)| *at)
     }
 
+    /// The flit at the head of the buffer, if any.
+    pub(crate) fn front(&self) -> Option<&Flit> {
+        self.buffer.front().map(|(f, _)| f)
+    }
+
     pub(crate) fn front_mut(&mut self) -> Option<&mut Flit> {
         self.buffer.front_mut().map(|(f, _)| f)
     }

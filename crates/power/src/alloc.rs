@@ -89,6 +89,67 @@ impl AllocatorKind {
 /// budget so an infinite request can never push the total to `∞` (where the
 /// rescale `budget / total` would turn *other* cores' grants into
 /// `∞ × 0 = NaN`).
+/// Audits a finished grant vector against the allocator contract: one grant
+/// per request (same cores, same order), every grant finite and within
+/// `[0, request]`, and the total within `budget_mw` — up to a small
+/// floating-point tolerance for the rescale in [`enforce_contract`].
+///
+/// Returns a description of the first violation, or `None` when the
+/// contract holds. [`crate::GlobalManager::run_epoch`] asserts this in
+/// debug builds after every allocation; the `htpb-testkit` invariant suite
+/// drives it across every [`AllocatorKind`] with randomized requests.
+#[must_use]
+pub fn audit_grant_contract(
+    grants: &[PowerGrant],
+    requests: &[PowerRequest],
+    budget_mw: f64,
+) -> Option<String> {
+    const TOL: f64 = 1e-9;
+    let budget = if budget_mw.is_nan() {
+        0.0
+    } else {
+        budget_mw.clamp(0.0, f64::MAX)
+    };
+    if grants.len() != requests.len() {
+        return Some(format!(
+            "{} grants for {} requests",
+            grants.len(),
+            requests.len()
+        ));
+    }
+    let mut total = 0.0f64;
+    for (g, r) in grants.iter().zip(requests) {
+        if g.core != r.core {
+            return Some(format!(
+                "grant core {} answers request core {}",
+                g.core, r.core
+            ));
+        }
+        if !g.milliwatts.is_finite() || g.milliwatts < 0.0 {
+            return Some(format!(
+                "core {}: non-finite/negative grant {}",
+                g.core, g.milliwatts
+            ));
+        }
+        let ceiling = if r.milliwatts.is_nan() {
+            0.0
+        } else {
+            r.milliwatts.max(0.0)
+        };
+        if g.milliwatts > ceiling * (1.0 + TOL) + TOL {
+            return Some(format!(
+                "core {}: grant {} exceeds request {}",
+                g.core, g.milliwatts, r.milliwatts
+            ));
+        }
+        total += g.milliwatts;
+    }
+    if total > budget * (1.0 + TOL) + TOL {
+        return Some(format!("total grants {total} exceed budget {budget}"));
+    }
+    None
+}
+
 fn enforce_contract(grants: &mut [PowerGrant], requests: &[PowerRequest], budget_mw: f64) {
     let budget = if budget_mw.is_nan() {
         0.0

@@ -37,8 +37,8 @@ mod model;
 mod request;
 
 pub use alloc::{
-    AllocatorKind, DpAllocator, FairShareAllocator, GreedyAllocator, MarketAllocator, PiAllocator,
-    PowerAllocator,
+    audit_grant_contract, AllocatorKind, DpAllocator, FairShareAllocator, GreedyAllocator,
+    MarketAllocator, PiAllocator, PowerAllocator,
 };
 pub use error::PowerError;
 pub use manager::{DegradationCounters, EpochSummary, GlobalManager, HardeningConfig};

@@ -237,6 +237,16 @@ impl GlobalManager {
             .allocator
             .allocate(&self.pending, self.budget_mw, model);
         grants.sort_by_key(|g| g.core);
+        #[cfg(debug_assertions)]
+        if let Some(violation) =
+            crate::alloc::audit_grant_contract(&grants, &self.pending, self.budget_mw)
+        {
+            panic!(
+                "allocator {} violated the budget contract at epoch {}: {violation}",
+                self.allocator.name(),
+                self.epoch
+            );
+        }
         let summary = EpochSummary {
             epoch: self.epoch,
             requesters: self.pending.len(),

@@ -1,0 +1,263 @@
+//! The differential oracle: runs a [`Scenario`] through the optimized
+//! [`htpb_noc::Network`] and the dense [`ReferenceNet`] in lock-step,
+//! comparing statistics fingerprints, trace fingerprints, and delivered
+//! packets after every cycle, and localizing the first divergence down to a
+//! (cycle, router, input port, VC) tuple by diffing per-VC snapshots.
+
+use htpb_noc::{Direction, Network, NodeId, VcSnapshot};
+use htpb_trojan::TrojanFleet;
+
+use crate::reference::ReferenceNet;
+use crate::scenario::{Scenario, SplitMix64};
+
+/// Knobs of one differential run.
+#[derive(Debug, Clone, Copy)]
+pub struct DiffConfig {
+    /// Arm the deliberately seeded round-robin arbitration bug in the
+    /// *optimized* network (`Network::set_rr_skew`). The reference always
+    /// runs the correct arbitration, so any scenario whose traffic exercises
+    /// switch contention diverges — the self-test proving the oracle can
+    /// catch a real bug.
+    pub rr_skew: bool,
+    /// Extra lock-step cycles granted after traffic generation stops for
+    /// both networks to drain in-flight packets.
+    pub drain_cycles: u64,
+}
+
+impl Default for DiffConfig {
+    fn default() -> Self {
+        DiffConfig {
+            rr_skew: false,
+            drain_cycles: 2_000,
+        }
+    }
+}
+
+/// The first observable disagreement between the two implementations.
+#[derive(Debug, Clone)]
+pub struct Divergence {
+    /// Cycle count of both networks when the mismatch was observed (cycles
+    /// are compared first, so the two never disagree on it).
+    pub cycle: u64,
+    /// Which observable differed, with both values.
+    pub what: String,
+    /// First differing `(router, input port, VC)` found by the snapshot
+    /// sweep, when any internal state differs (counter-only divergences —
+    /// e.g. pure statistics bugs — can leave identical buffers behind).
+    pub location: Option<(NodeId, usize, usize)>,
+}
+
+impl std::fmt::Display for Divergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cycle {}: {}", self.cycle, self.what)?;
+        if let Some((node, port, vc)) = self.location {
+            write!(
+                f,
+                " (first differing state: {node} port {} vc {vc})",
+                Direction::ALL[port].index()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+fn build_fleet(scenario: &Scenario) -> TrojanFleet {
+    let nodes: Vec<NodeId> = scenario.trojans.iter().map(|&t| NodeId(t)).collect();
+    let mut fleet =
+        TrojanFleet::new(&nodes, scenario.tamper_rule()).with_schedule(scenario.trojan_schedule());
+    fleet.configure_all(&[], NodeId(scenario.manager), true);
+    fleet
+}
+
+fn delivered_eq(a: &htpb_noc::DeliveredPacket, b: &htpb_noc::DeliveredPacket) -> bool {
+    a.packet == b.packet && a.latency == b.latency && a.hops == b.hops && a.modified == b.modified
+}
+
+/// Sweeps every (router, port, VC) of both networks and reports the first
+/// snapshot mismatch, ascending (node, port, vc) order.
+fn localize(
+    optimized: &Network<TrojanFleet>,
+    reference: &ReferenceNet,
+    scenario: &Scenario,
+) -> Option<(NodeId, usize, usize)> {
+    let vcs = scenario.network_config().router.vcs;
+    for node in scenario.mesh().iter_nodes() {
+        for port in 0..5 {
+            for vc in 0..vcs {
+                let opt: VcSnapshot = optimized.router(node).vc_snapshot(port, vc);
+                let dense = reference.vc_snapshot(node, port, vc);
+                if opt != dense {
+                    return Some((node, port, vc));
+                }
+            }
+        }
+    }
+    None
+}
+
+/// One lock-step comparison of every cross-checked observable. Returns the
+/// first mismatch as a [`Divergence`].
+fn compare(
+    optimized: &mut Network<TrojanFleet>,
+    reference: &mut ReferenceNet,
+    scenario: &Scenario,
+) -> Option<Divergence> {
+    let cycle = optimized.cycle();
+    let fail = |what: String, optimized: &Network<TrojanFleet>, reference: &ReferenceNet| {
+        Some(Divergence {
+            cycle,
+            what,
+            location: localize(optimized, reference, scenario),
+        })
+    };
+    if optimized.cycle() != reference.cycle() {
+        return Some(Divergence {
+            cycle,
+            what: format!(
+                "cycle counters drifted: optimized {} vs reference {}",
+                optimized.cycle(),
+                reference.cycle()
+            ),
+            location: None,
+        });
+    }
+    let (of, rf) = (
+        optimized.stats().fingerprint(),
+        reference.stats().fingerprint(),
+    );
+    if of != rf {
+        return fail(
+            format!(
+                "stats fingerprints differ: optimized {of:#018x} vs reference {rf:#018x} \
+                 (delivered {} vs {}, dropped {} vs {})",
+                optimized.stats().delivered_packets(),
+                reference.stats().delivered_packets(),
+                optimized.stats().dropped_packets(),
+                reference.stats().dropped_packets(),
+            ),
+            optimized,
+            reference,
+        );
+    }
+    let ot = optimized.trace().map(htpb_noc::TraceBuffer::fingerprint);
+    let rt = reference.trace().map(htpb_noc::TraceBuffer::fingerprint);
+    if ot != rt {
+        return fail(
+            format!("trace fingerprints differ: optimized {ot:?} vs reference {rt:?}"),
+            optimized,
+            reference,
+        );
+    }
+    let od = optimized.drain_ejected();
+    let rd = reference.drain_ejected();
+    if od.len() != rd.len() || !od.iter().zip(&rd).all(|(a, b)| delivered_eq(a, b)) {
+        return fail(
+            format!(
+                "delivered packets differ: optimized {} vs reference {} this cycle",
+                od.len(),
+                rd.len()
+            ),
+            optimized,
+            reference,
+        );
+    }
+    None
+}
+
+/// Runs `scenario` through both implementations in lock-step.
+///
+/// Returns `None` when every per-cycle observable agreed for the whole run
+/// (traffic phase plus drain), or the first [`Divergence`] otherwise.
+#[must_use]
+pub fn run_differential(scenario: &Scenario, config: &DiffConfig) -> Option<Divergence> {
+    let net_cfg = scenario.network_config();
+    let mut optimized = Network::with_inspector(net_cfg.clone(), build_fleet(scenario));
+    let mut reference = ReferenceNet::new(&net_cfg, Box::new(build_fleet(scenario)));
+    if config.rr_skew {
+        optimized.set_rr_skew(true);
+    }
+    if scenario.has_faults() {
+        // Two independent plan instances: decisions are pure functions of
+        // (seed, domain, entity, window), so both sides see identical faults.
+        optimized.set_fault_hook(Box::new(scenario.fault_plan()));
+        reference.set_fault_hook(Box::new(scenario.fault_plan()));
+    }
+    let mut rng = SplitMix64::new(scenario.seed);
+    for _ in 0..scenario.cycles {
+        for src in 0..scenario.nodes() {
+            let Some(packet) = scenario.traffic_for(&mut rng, src) else {
+                continue;
+            };
+            let a = optimized.inject(packet);
+            let b = reference.inject(packet);
+            if a != b {
+                return Some(Divergence {
+                    cycle: optimized.cycle(),
+                    what: format!("inject results differ: optimized {a:?} vs reference {b:?}"),
+                    location: localize(&optimized, &reference, scenario),
+                });
+            }
+        }
+        optimized.step();
+        reference.step();
+        if let Some(d) = compare(&mut optimized, &mut reference, scenario) {
+            return Some(d);
+        }
+    }
+    for _ in 0..config.drain_cycles {
+        if optimized.is_idle() && reference.is_idle() {
+            break;
+        }
+        optimized.step();
+        reference.step();
+        if let Some(d) = compare(&mut optimized, &mut reference, scenario) {
+            return Some(d);
+        }
+    }
+    if !optimized.is_idle() || !reference.is_idle() {
+        return Some(Divergence {
+            cycle: optimized.cycle(),
+            what: format!(
+                "network failed to drain within {} extra cycles (optimized idle: {}, reference idle: {})",
+                config.drain_cycles,
+                optimized.is_idle(),
+                reference.is_idle()
+            ),
+            location: localize(&optimized, &reference, scenario),
+        });
+    }
+    None
+}
+
+/// Outcome of a batch of random differential runs.
+#[derive(Debug, Clone, Default)]
+pub struct BatchReport {
+    /// Scenarios that ran clean.
+    pub passed: u64,
+    /// `(spec, divergence)` of every failing scenario, in discovery order.
+    pub failures: Vec<(String, Divergence)>,
+}
+
+impl BatchReport {
+    /// Whether every scenario agreed.
+    #[must_use]
+    pub fn all_passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Runs `count` random scenarios derived from `master_seed` through the
+/// differential oracle, collecting all failures.
+#[must_use]
+pub fn run_batch(master_seed: u64, count: u64) -> BatchReport {
+    let mut report = BatchReport::default();
+    let config = DiffConfig::default();
+    for i in 0..count {
+        let scenario = Scenario::random(master_seed.wrapping_add(i));
+        match run_differential(&scenario, &config) {
+            None => report.passed += 1,
+            Some(d) => report.failures.push((scenario.to_spec(), d)),
+        }
+    }
+    report
+}

@@ -1,0 +1,186 @@
+//! Greedy scenario shrinking: given a failing [`Scenario`] and a predicate
+//! that re-checks failure, repeatedly tries simplifying candidates and
+//! adopts the first that still fails, until no candidate does.
+//!
+//! The candidate order is tuned to collapse the big cost drivers first
+//! (cycles, mesh area), then strip whole features (faults, Trojans,
+//! adaptive routing), so shrunk scenarios end up as small replayable specs
+//! a human can step through — the acceptance bar is ≤ 8 routers and
+//! ≤ 50 traffic cycles for the seeded arbitration bug.
+
+use crate::scenario::Scenario;
+
+/// Clamps scenario fields that name nodes into the (possibly smaller) mesh.
+fn fixup_nodes(s: &mut Scenario) {
+    let nodes = s.nodes();
+    if u32::from(s.manager) >= nodes {
+        s.manager = (nodes - 1) as u16;
+    }
+    s.trojans.retain(|&t| u32::from(t) < nodes);
+    s.trojans.dedup();
+}
+
+/// All one-step simplifications of `s`, most aggressive first.
+fn candidates(s: &Scenario) -> Vec<Scenario> {
+    let mut out = Vec::new();
+    let mut push = |c: Scenario| {
+        if c != *s && !out.contains(&c) {
+            out.push(c);
+        }
+    };
+    // Halve the run length (dominant cost), with a floor that still lets
+    // traffic cross a tiny mesh.
+    if s.cycles > 10 {
+        let mut c = s.clone();
+        c.cycles = (s.cycles / 2).max(10);
+        push(c);
+    }
+    // Shrink each mesh dimension.
+    if s.width > 2 {
+        let mut c = s.clone();
+        c.width -= 1;
+        fixup_nodes(&mut c);
+        push(c);
+    }
+    if s.height > 1 {
+        let mut c = s.clone();
+        c.height -= 1;
+        fixup_nodes(&mut c);
+        push(c);
+    }
+    // Remove fault families wholesale, then the whole plan.
+    if s.has_faults() {
+        let mut c = s.clone();
+        c.link_ppm = 0;
+        c.stall_ppm = 0;
+        c.flip_ppm = 0;
+        c.drop_ppm = 0;
+        push(c);
+    }
+    for field in 0..4usize {
+        let mut c = s.clone();
+        let ppm = match field {
+            0 => &mut c.link_ppm,
+            1 => &mut c.stall_ppm,
+            2 => &mut c.flip_ppm,
+            _ => &mut c.drop_ppm,
+        };
+        if *ppm > 0 {
+            *ppm = 0;
+            push(c);
+        }
+    }
+    // Strip the Trojans, one then all.
+    if !s.trojans.is_empty() {
+        let mut c = s.clone();
+        c.trojans.clear();
+        push(c);
+        let mut c = s.clone();
+        c.trojans.pop();
+        push(c);
+    }
+    // Pin the duty cycle to a trivial endpoint. Mid values offer both
+    // endpoints; endpoints themselves are terminal, so the shrinker cannot
+    // oscillate between them.
+    if !s.trojans.is_empty() && !matches!(s.duty_tenths, 0 | 10) {
+        for duty in [10, 0] {
+            let mut c = s.clone();
+            c.duty_tenths = duty;
+            push(c);
+        }
+    }
+    // Make the traffic mix degenerate (all power requests, or none) —
+    // endpoints terminal, as above.
+    if !matches!(s.power_req_pct, 0 | 100) {
+        for pct in [100, 0] {
+            let mut c = s.clone();
+            c.power_req_pct = pct;
+            push(c);
+        }
+    }
+    // Thin the traffic.
+    if s.rate_permille > 25 {
+        let mut c = s.clone();
+        c.rate_permille /= 2;
+        push(c);
+    }
+    // Deterministic routing last: adaptive routing is itself a suspect.
+    if s.routing != htpb_noc::RoutingKind::Xy {
+        let mut c = s.clone();
+        c.routing = htpb_noc::RoutingKind::Xy;
+        push(c);
+    }
+    out
+}
+
+/// Greedily shrinks `failing` while `still_fails` keeps returning `true`.
+///
+/// The returned scenario is a local minimum: no single candidate step
+/// reproduces the failure. `still_fails(&returned)` is guaranteed to have
+/// returned `true` (the input itself is returned unshrunk if no candidate
+/// ever fails).
+pub fn shrink<F>(failing: &Scenario, mut still_fails: F) -> Scenario
+where
+    F: FnMut(&Scenario) -> bool,
+{
+    let mut best = failing.clone();
+    loop {
+        let mut progressed = false;
+        for candidate in candidates(&best) {
+            if still_fails(&candidate) {
+                best = candidate;
+                progressed = true;
+                break;
+            }
+        }
+        if !progressed {
+            return best;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shrink_reaches_fixpoint_on_always_failing() {
+        // With an always-true predicate the shrinker must terminate at the
+        // global minimum of the candidate lattice.
+        let s = Scenario::random(3);
+        let min = shrink(&s, |_| true);
+        assert_eq!(min.width, 2);
+        assert_eq!(min.height, 1);
+        assert_eq!(min.cycles, 10);
+        assert!(min.trojans.is_empty());
+        assert!(!min.has_faults());
+        assert!(matches!(min.power_req_pct, 0 | 100));
+        assert!(candidates(&min).iter().all(|c| c != &min));
+    }
+
+    #[test]
+    fn shrink_returns_input_when_nothing_smaller_fails() {
+        let s = Scenario::random(5);
+        let out = shrink(&s, |c| c == &s);
+        assert_eq!(out, s);
+    }
+
+    #[test]
+    fn shrunk_scenarios_stay_well_formed() {
+        for seed in 0..50 {
+            let s = Scenario::random(seed);
+            let min = shrink(&s, |_| true);
+            let spec = min.to_spec();
+            assert_eq!(Scenario::from_spec(&spec).unwrap(), min, "{spec}");
+        }
+    }
+
+    #[test]
+    fn candidates_never_upsize() {
+        let s = Scenario::random(11);
+        for c in candidates(&s) {
+            assert!(c.nodes() <= s.nodes());
+            assert!(c.cycles <= s.cycles);
+        }
+    }
+}

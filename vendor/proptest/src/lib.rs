@@ -11,13 +11,20 @@
 //! - only the strategies the suites use exist: ranges, tuples, `Just`,
 //!   `prop_map`/`prop_filter`, `prop_oneof!`, `collection::{vec,
 //!   btree_set}`, `array::uniform4`, `option::of`, `sample::select` and
-//!   `any` for small scalar types.
+//!   `any` for small scalar types;
+//! - failure persistence mirrors upstream's workflow but not its format:
+//!   a failing case appends `xs <property> <hex-rng-state>` to the
+//!   `.proptest-regressions` file next to the test source, and every
+//!   persisted state is replayed before novel cases are generated.
+//!   Upstream `cc` lines (shrunk-case hashes) are tolerated and ignored —
+//!   they cannot be replayed without upstream's shrinker.
 
 #![forbid(unsafe_code)]
 
 use std::collections::BTreeSet;
 use std::marker::PhantomData;
 use std::ops::{Range, RangeInclusive};
+use std::path::{Path, PathBuf};
 
 // ---------------------------------------------------------------------------
 // Deterministic test RNG (SplitMix64).
@@ -40,6 +47,22 @@ impl TestRng {
             state = state.wrapping_mul(0x0000_0100_0000_01B3);
         }
         TestRng { state }
+    }
+
+    /// Rebuilds the generator from a raw state captured by [`state`]
+    /// (failure-persistence replay).
+    ///
+    /// [`state`]: TestRng::state
+    #[must_use]
+    pub fn from_state(state: u64) -> Self {
+        TestRng { state }
+    }
+
+    /// The raw generator state. Capturing it *before* a case draws its
+    /// inputs makes the case replayable via [`TestRng::from_state`].
+    #[must_use]
+    pub fn state(&self) -> u64 {
+        self.state
     }
 
     /// Next 64 random bits.
@@ -120,16 +143,59 @@ impl Default for ProptestConfig {
 }
 
 /// Executes one property: keeps sampling until `config.cases` cases pass,
-/// panicking on the first failure. Driven by the `proptest!` macro.
-pub fn run_proptest<F>(config: &ProptestConfig, name: &str, mut case: F)
+/// panicking on the first failure. Driven by the `proptest!` macro when no
+/// persistence location is known (direct callers, doctests).
+pub fn run_proptest<F>(config: &ProptestConfig, name: &str, case: F)
 where
     F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
 {
+    run_cases(config, None, name, case);
+}
+
+/// [`run_proptest`] with failure persistence: replays every `xs` state
+/// recorded for `name` in the `.proptest-regressions` file next to
+/// `source_file`, then samples novel cases, appending the pre-case RNG
+/// state of any new failure to that file. Driven by the `proptest!` macro,
+/// which supplies `env!("CARGO_MANIFEST_DIR")` and `file!()`.
+pub fn run_proptest_persisted<F>(
+    config: &ProptestConfig,
+    manifest_dir: &str,
+    source_file: &str,
+    name: &str,
+    case: F,
+) where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let path = persistence::regression_path(manifest_dir, source_file);
+    run_cases(config, Some(&path), name, case);
+}
+
+fn run_cases<F>(config: &ProptestConfig, regressions: Option<&Path>, name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    // Phase 1: persisted regressions first, like upstream — a past failure
+    // must stay fixed before novel sampling proves anything.
+    if let Some(path) = regressions {
+        for state in persistence::load_states(path, name) {
+            let mut rng = TestRng::from_state(state);
+            match case(&mut rng) {
+                Ok(()) | Err(TestCaseError::Reject(_)) => {}
+                Err(TestCaseError::Fail(msg)) => panic!(
+                    "{name}: persisted regression xs {state:#018x} failed \
+                     (from {}): {msg}",
+                    path.display()
+                ),
+            }
+        }
+    }
+    // Phase 2: novel cases.
     let mut rng = TestRng::from_label(name);
     let mut passed = 0u32;
     let mut rejected = 0u64;
     let reject_budget = u64::from(config.cases) * 256;
     while passed < config.cases {
+        let state_before = rng.state();
         match case(&mut rng) {
             Ok(()) => passed += 1,
             Err(TestCaseError::Reject(_)) => {
@@ -140,9 +206,116 @@ where
                 );
             }
             Err(TestCaseError::Fail(msg)) => {
-                panic!("{name}: case {passed} failed: {msg}")
+                let saved = regressions
+                    .map(
+                        |path| match persistence::append_state(path, name, state_before) {
+                            Ok(()) => format!(
+                                "; case saved as `xs {name} {state_before:#018x}` in {}",
+                                path.display()
+                            ),
+                            Err(e) => {
+                                format!("; could not save the case to {}: {e}", path.display())
+                            }
+                        },
+                    )
+                    .unwrap_or_default();
+                panic!("{name}: case {passed} failed: {msg}{saved}")
             }
         }
+    }
+}
+
+/// Where failing cases are recorded and replayed from.
+mod persistence {
+    use super::{Path, PathBuf};
+    use std::fs;
+    use std::io::{self, Write as _};
+
+    const HEADER: &str = "\
+# Seeds for failure cases proptest has generated in the past. It is
+# automatically read and these particular cases re-run before any
+# novel cases are generated.
+#
+# It is recommended to check this file in to source control so that
+# everyone who runs the test benefits from these saved cases.
+#
+# Format (vendored runner): `xs <property> <hex-rng-state>` replays the
+# generator state that produced a failing case. `cc` lines written by
+# the upstream proptest crate are kept but ignored: without upstream's
+# shrinker they cannot be replayed.
+";
+
+    /// The `.proptest-regressions` file sitting next to the test source.
+    ///
+    /// `source_file` is the caller's `file!()`, which rustc emits relative
+    /// to the directory cargo was invoked from (the workspace root for
+    /// this repo); `manifest_dir` anchors the search, walking up its
+    /// ancestors until the source file is found. Falls back to
+    /// interpreting `source_file` relative to `manifest_dir` when nothing
+    /// matches (the file then lands there on the first failure).
+    pub(super) fn regression_path(manifest_dir: &str, source_file: &str) -> PathBuf {
+        let source = Path::new(source_file);
+        let resolved = if source.is_absolute() {
+            source.to_path_buf()
+        } else {
+            Path::new(manifest_dir)
+                .ancestors()
+                .map(|a| a.join(source))
+                .find(|c| c.exists())
+                .unwrap_or_else(|| Path::new(manifest_dir).join(source))
+        };
+        resolved.with_extension("proptest-regressions")
+    }
+
+    /// Every persisted RNG state for `name`, in file order. A missing file
+    /// is an empty corpus; comments, blank lines, upstream `cc` lines and
+    /// other properties' entries are skipped.
+    pub(super) fn load_states(path: &Path, name: &str) -> Vec<u64> {
+        let Ok(text) = fs::read_to_string(path) else {
+            return Vec::new();
+        };
+        let mut states = Vec::new();
+        for line in text.lines().map(str::trim) {
+            let mut parts = line.split_whitespace();
+            if parts.next() != Some("xs") {
+                continue; // comment, blank, `cc ...`, or junk
+            }
+            if parts.next() != Some(name) {
+                continue; // another property in the same file
+            }
+            let Some(state) = parts.next().and_then(|s| {
+                let s = s.strip_prefix("0x").unwrap_or(s);
+                u64::from_str_radix(s, 16).ok()
+            }) else {
+                eprintln!(
+                    "[proptest] warning: unreadable xs line for {name} in {}: {line:?}",
+                    path.display()
+                );
+                continue;
+            };
+            states.push(state);
+        }
+        states
+    }
+
+    /// Appends one failing state, creating the file (with its header) on
+    /// first use. Best-effort by contract: the caller panics with the
+    /// failure either way and reports whether the save worked.
+    pub(super) fn append_state(path: &Path, name: &str, state: u64) -> io::Result<()> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                fs::create_dir_all(parent)?;
+            }
+        }
+        let fresh = !path.exists();
+        let mut file = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        if fresh {
+            file.write_all(HEADER.as_bytes())?;
+        }
+        writeln!(file, "xs {name} {state:#018x}")
     }
 }
 
@@ -664,11 +837,17 @@ macro_rules! __proptest_items {
         $(#[$meta])*
         fn $name() {
             let config: $crate::ProptestConfig = $cfg;
-            $crate::run_proptest(&config, stringify!($name), |__proptest_rng| {
-                $(let $arg = $crate::Strategy::generate(&($strat), __proptest_rng);)+
-                $body
-                ::std::result::Result::Ok(())
-            });
+            $crate::run_proptest_persisted(
+                &config,
+                env!("CARGO_MANIFEST_DIR"),
+                file!(),
+                stringify!($name),
+                |__proptest_rng| {
+                    $(let $arg = $crate::Strategy::generate(&($strat), __proptest_rng);)+
+                    $body
+                    ::std::result::Result::Ok(())
+                },
+            );
         }
         $crate::__proptest_items! { ($cfg) $($rest)* }
     };
@@ -725,6 +904,121 @@ mod tests {
         #[test]
         fn oneof_and_maps(v in prop_oneof![Just(1u32), 5u32..8, any::<u32>().prop_map(|x| x % 2)]) {
             prop_assert!(v == 1 || (5..8).contains(&v) || v < 2);
+        }
+    }
+
+    mod persistence {
+        use crate::{run_proptest_persisted, ProptestConfig, TestCaseError, TestRng};
+        use std::fs;
+        use std::path::PathBuf;
+
+        /// A throwaway crate layout: `<tmp>/fake-crate/tests/suite.rs`,
+        /// so `regression_path` resolves the way a real suite does.
+        fn fake_crate(tag: &str) -> (PathBuf, PathBuf) {
+            let root =
+                std::env::temp_dir().join(format!("proptest-persist-{tag}-{}", std::process::id()));
+            let _ = fs::remove_dir_all(&root);
+            let manifest = root.join("fake-crate");
+            fs::create_dir_all(manifest.join("tests")).unwrap();
+            fs::write(manifest.join("tests/suite.rs"), "// test source\n").unwrap();
+            (root, manifest)
+        }
+
+        #[test]
+        fn regression_path_sits_next_to_the_source() {
+            let (root, manifest) = fake_crate("path");
+            // `file!()`-style workspace-relative path, anchored by walking
+            // up from the manifest dir (here the manifest itself matches).
+            let p =
+                crate::persistence::regression_path(manifest.to_str().unwrap(), "tests/suite.rs");
+            assert_eq!(p, manifest.join("tests/suite.proptest-regressions"));
+            let _ = fs::remove_dir_all(&root);
+        }
+
+        #[test]
+        fn failure_is_persisted_and_replayed_before_novel_cases() {
+            let (root, manifest) = fake_crate("replay");
+            let manifest_s = manifest.to_str().unwrap();
+            let cfg = ProptestConfig::with_cases(64);
+
+            // A property that fails once some drawn value crosses a line.
+            let mut seen = Vec::new();
+            let failing = |rng: &mut TestRng| {
+                let x = rng.next_u64() % 100;
+                seen.push(x);
+                if x >= 90 {
+                    return Err(TestCaseError::fail(format!("x = {x}")));
+                }
+                Ok(())
+            };
+            let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                run_proptest_persisted(&cfg, manifest_s, "tests/suite.rs", "crossing", failing);
+            }));
+            assert!(panicked.is_err(), "seen draws: {seen:?}");
+            let bad = *seen.last().unwrap();
+
+            let file = manifest.join("tests/suite.proptest-regressions");
+            let text = fs::read_to_string(&file).unwrap();
+            assert!(
+                text.starts_with("# Seeds for failure cases"),
+                "fresh file gets the header:\n{text}"
+            );
+            assert_eq!(
+                text.lines()
+                    .filter(|l| l.starts_with("xs crossing "))
+                    .count(),
+                1,
+                "{text}"
+            );
+
+            // On the next run the very first case replayed must be the
+            // saved one — and it still fails, so the property panics
+            // before any novel sampling.
+            let mut first = None;
+            let replayed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                run_proptest_persisted(&cfg, manifest_s, "tests/suite.rs", "crossing", |rng| {
+                    let x = rng.next_u64() % 100;
+                    if first.is_none() {
+                        first = Some(x);
+                    }
+                    if x >= 90 {
+                        return Err(TestCaseError::fail(format!("x = {x}")));
+                    }
+                    Ok(())
+                });
+            }));
+            assert!(replayed.is_err());
+            assert_eq!(first, Some(bad), "persisted case replays first");
+            let _ = fs::remove_dir_all(&root);
+        }
+
+        #[test]
+        fn upstream_cc_lines_and_foreign_entries_are_tolerated() {
+            let (root, manifest) = fake_crate("cc");
+            let file = manifest.join("tests/suite.proptest-regressions");
+            fs::write(
+                &file,
+                "# comment\n\
+                 cc 9c724b7b77132a7f67207e364cb042db7d4f6038ae562db6ab60380e6092800c # shrinks to x = 3\n\
+                 xs other_property 0x0000000000000001\n\
+                 \n\
+                 xs mine 0x00000000000000ff\n",
+            )
+            .unwrap();
+            assert_eq!(crate::persistence::load_states(&file, "mine"), vec![0xff]);
+            assert_eq!(
+                crate::persistence::load_states(&file, "other_property"),
+                vec![1]
+            );
+            // A clean property with such a file must simply pass.
+            run_proptest_persisted(
+                &ProptestConfig::with_cases(8),
+                manifest.to_str().unwrap(),
+                "tests/suite.rs",
+                "mine",
+                |_rng| Ok(()),
+            );
+            let _ = fs::remove_dir_all(&root);
         }
     }
 }
