@@ -63,6 +63,8 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         },
+        // Fig. 3 points have no campaign baseline to share.
+        baselines: None,
         progress: true,
         job_timeout: args.job_timeout(),
         retries: args.retries,

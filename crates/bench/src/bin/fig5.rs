@@ -54,13 +54,21 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         },
+        // All duty points of one mix share a single clean baseline; the
+        // cache computes it once per mix (and persists it with --cache).
+        baselines: Some(std::sync::Arc::new(if args.use_cache {
+            htpb_harness::BaselineCache::with_dir(outdir.join(".cache"))
+        } else {
+            htpb_harness::BaselineCache::in_memory()
+        })),
         progress: true,
         job_timeout: args.job_timeout(),
         retries: args.retries,
     };
 
-    // One job per (mix, duty): a full campaign including its own clean
-    // baseline (deterministic, so equal to the shared-baseline sweep).
+    // One job per (mix, duty): a full campaign, its clean baseline shared
+    // per mix through the baseline cache (deterministic, so bit-equal to
+    // an inline-baseline sweep).
     let duty_tenths: Vec<u32> = (0..=9).collect();
     let mut jobs = Vec::new();
     for mix in Mix::ALL {

@@ -8,11 +8,22 @@
 //! injection on the paper's 16×16 platform, bursty hotspot (`POWER_REQ`)
 //! epochs with idle gaps, an all-to-center drain, and a fully idle mesh.
 //!
-//! Usage: `noc_perf [--smoke]` — `--smoke` shrinks cycle counts ~10× for
-//! CI smoke runs.
+//! Usage: `noc_perf [--smoke] [--json <out.json>] [--check <BENCH_noc.json>]`
+//!
+//! - `--smoke` shrinks cycle counts ~10× for CI smoke runs;
+//! - `--json` additionally writes the measurements as one machine-readable
+//!   JSON document;
+//! - `--check` compares the measured cycles/sec against the committed
+//!   `after_cycles_per_sec` of `results/BENCH_noc.json` and exits non-zero
+//!   on a >25% regression. The gate is ratio-based (measured/committed per
+//!   scenario), and scenarios whose cycle counts differ more than 2× from
+//!   the committed run are skipped — a `--smoke` run is not "matched
+//!   scale" and must not trip the gate.
 
+use std::process::ExitCode;
 use std::time::Instant;
 
+use htpb_harness::json::{self, Value};
 use htpb_noc::{
     HotspotTraffic, Mesh2d, Network, NetworkConfig, NodeId, Packet, TrafficPattern, UniformTraffic,
 };
@@ -21,10 +32,20 @@ use htpb_trojan::{TamperRule, TrojanFleet};
 /// Best-of-N timing runs per scenario (the container may jitter).
 const RUNS: usize = 3;
 
+/// A measured run regresses when it falls below this fraction of the
+/// committed cycles/sec (`--check`).
+const CHECK_RATIO: f64 = 0.75;
+
 struct Outcome {
     cycles: u64,
     delivered: u64,
     wall_s: f64,
+}
+
+impl Outcome {
+    fn cycles_per_sec(&self) -> f64 {
+        self.cycles as f64 / self.wall_s.max(1e-12)
+    }
 }
 
 fn time_scenario(mut run: impl FnMut() -> (u64, u64)) -> Outcome {
@@ -49,10 +70,12 @@ fn time_scenario(mut run: impl FnMut() -> (u64, u64)) -> Outcome {
 }
 
 fn report(scenario: &str, o: &Outcome) {
-    let cps = o.cycles as f64 / o.wall_s.max(1e-12);
     println!(
         "{{\"scenario\":\"{scenario}\",\"cycles\":{},\"delivered\":{},\"wall_s\":{:.6},\"cycles_per_sec\":{:.0}}}",
-        o.cycles, o.delivered, o.wall_s, cps
+        o.cycles,
+        o.delivered,
+        o.wall_s,
+        o.cycles_per_sec()
     );
 }
 
@@ -70,11 +93,10 @@ fn drive(mesh: Mesh2d, mut traffic: impl TrafficPattern, cycles: u64) -> (u64, u
     (net.cycle(), net.stats().delivered_packets())
 }
 
-fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
-    let scale = if smoke { 10 } else { 1 };
+fn run_scenarios(scale: u64) -> Vec<(&'static str, Outcome)> {
     let mesh16 = Mesh2d::new(16, 16).unwrap();
     let mesh8 = Mesh2d::new(8, 8).unwrap();
+    let mut results = Vec::new();
 
     // Low and moderate uniform-random injection on the paper's platform.
     for (name, rate) in [("uniform16_rate001", 0.01), ("uniform16_rate005", 0.05)] {
@@ -86,7 +108,7 @@ fn main() {
                 cycles,
             )
         });
-        report(name, &o);
+        results.push((name, o));
     }
 
     // Bursty POWER_REQ epochs: one all-nodes burst to the manager every
@@ -100,7 +122,7 @@ fn main() {
                 cycles,
             )
         });
-        report("hotspot16_epoch2k", &o);
+        results.push(("hotspot16_epoch2k", o));
     }
 
     // All-to-center drain on 8×8 (the original noc_throughput shape),
@@ -121,7 +143,7 @@ fn main() {
             net.run_until_idle(1_000_000);
             (net.cycle(), net.stats().delivered_packets())
         });
-        report("hotspot8_drain_trojan", &o);
+        results.push(("hotspot8_drain_trojan", o));
     }
 
     // Fully idle 16×16 mesh: the pure cost of stepping a quiet network.
@@ -132,6 +154,150 @@ fn main() {
             net.step_n(cycles);
             (net.cycle(), 0)
         });
-        report("idle16_empty", &o);
+        results.push(("idle16_empty", o));
     }
+
+    results
+}
+
+fn write_json(path: &str, smoke: bool, results: &[(&str, Outcome)]) -> std::io::Result<()> {
+    let scenarios = results
+        .iter()
+        .map(|(name, o)| {
+            Value::obj(vec![
+                ("scenario", Value::Str((*name).to_string())),
+                ("cycles", Value::Int(o.cycles as i64)),
+                ("delivered", Value::Int(o.delivered as i64)),
+                ("wall_s", Value::Num(o.wall_s)),
+                ("cycles_per_sec", Value::Num(o.cycles_per_sec().round())),
+            ])
+        })
+        .collect();
+    let doc = Value::obj(vec![
+        ("bench", Value::Str("noc_perf".to_string())),
+        (
+            "scale",
+            Value::Str(if smoke { "smoke" } else { "full" }.to_string()),
+        ),
+        ("runs", Value::Int(RUNS as i64)),
+        ("scenarios", Value::Arr(scenarios)),
+    ]);
+    std::fs::write(path, doc.render() + "\n")
+}
+
+/// Gates the measured numbers on the committed `BENCH_noc.json`. Returns
+/// `false` when any matched-scale scenario regresses below [`CHECK_RATIO`]
+/// of its committed `after_cycles_per_sec`.
+fn check_against(path: &str, results: &[(&str, Outcome)]) -> bool {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("noc_perf: --check: reading {path}: {e}");
+            return false;
+        }
+    };
+    let doc = match json::parse(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("noc_perf: --check: parsing {path}: {e}");
+            return false;
+        }
+    };
+    let Some(committed) = doc.get("scenarios").and_then(Value::as_arr) else {
+        eprintln!("noc_perf: --check: {path} has no `scenarios` array");
+        return false;
+    };
+    let mut ok = true;
+    let mut compared = 0usize;
+    for entry in committed {
+        let Some(name) = entry.get("scenario").and_then(Value::as_str) else {
+            continue;
+        };
+        let (Some(ref_cycles), Some(ref_cps)) = (
+            entry.get("cycles").and_then(Value::as_f64),
+            entry.get("after_cycles_per_sec").and_then(Value::as_f64),
+        ) else {
+            continue;
+        };
+        let Some((_, measured)) = results.iter().find(|(n, _)| *n == name) else {
+            eprintln!("perf-check: {name}: not measured, skipped");
+            continue;
+        };
+        // "Matched scale" guard: a --smoke run steps ~10× fewer cycles and
+        // has a different warm-up/drain mix — not comparable.
+        let cycles = measured.cycles as f64;
+        if !(ref_cycles / 2.0..=ref_cycles * 2.0).contains(&cycles) {
+            eprintln!(
+                "perf-check: {name}: cycle count {cycles:.0} vs committed {ref_cycles:.0}, scale mismatch, skipped"
+            );
+            continue;
+        }
+        compared += 1;
+        let ratio = measured.cycles_per_sec() / ref_cps;
+        let verdict = if ratio >= CHECK_RATIO {
+            "ok"
+        } else {
+            "REGRESSED"
+        };
+        eprintln!(
+            "perf-check: {name}: {:.0} c/s vs committed {ref_cps:.0} (ratio {ratio:.2}) {verdict}",
+            measured.cycles_per_sec()
+        );
+        if ratio < CHECK_RATIO {
+            ok = false;
+        }
+    }
+    if compared == 0 {
+        eprintln!("perf-check: no scenario compared (scale mismatch everywhere?) — failing");
+        return false;
+    }
+    ok
+}
+
+fn main() -> ExitCode {
+    let mut smoke = false;
+    let mut json_path: Option<String> = None;
+    let mut check_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--json" => match args.next() {
+                Some(p) => json_path = Some(p),
+                None => {
+                    eprintln!("noc_perf: --json needs a file path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--check" => match args.next() {
+                Some(p) => check_path = Some(p),
+                None => {
+                    eprintln!("noc_perf: --check needs a committed BENCH_noc.json path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("noc_perf: unknown flag `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let scale = if smoke { 10 } else { 1 };
+    let results = run_scenarios(scale);
+    for (name, o) in &results {
+        report(name, o);
+    }
+    if let Some(path) = &json_path {
+        if let Err(e) = write_json(path, smoke, &results) {
+            eprintln!("noc_perf: writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(path) = &check_path {
+        if !check_against(path, &results) {
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
 }

@@ -62,6 +62,14 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            // Sweep/opt/regression jobs share one clean baseline per
+            // campaign config; with --cache the baselines persist next to
+            // the result cache, so warm re-runs skip them entirely.
+            baselines: Some(std::sync::Arc::new(if args.use_cache {
+                htpb_harness::BaselineCache::with_dir(outdir.join(".cache"))
+            } else {
+                htpb_harness::BaselineCache::in_memory()
+            })),
             progress: true,
             job_timeout: args.job_timeout(),
             retries: args.retries,
@@ -74,6 +82,10 @@ fn main() -> ExitCode {
                 eprintln!(
                     "[harness] {} jobs, {} from cache",
                     outcome.jobs, outcome.cache_hits
+                );
+                eprintln!(
+                    "[harness] baselines: {} shared, {} computed",
+                    outcome.baseline_hits, outcome.baseline_misses
                 );
             }
             ExitCode::SUCCESS

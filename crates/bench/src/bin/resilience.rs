@@ -51,6 +51,9 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         },
+        // Resilience baselines are fault-laden and per-cell; nothing to
+        // share across jobs.
+        baselines: None,
         progress: true,
         job_timeout: args.job_timeout(),
         retries: args.retries,

@@ -323,6 +323,45 @@ impl CampaignConfig {
             .unwrap_or_else(|| (4 * u64::from(self.nodes)).max(1_000))
     }
 
+    /// Canonical id of this configuration's **clean baseline**: a stable
+    /// string over exactly the fields that determine the Trojan-free run
+    /// (Λ of Definition 2). Attack-side knobs — `tamper_rule`, `ht_boost`,
+    /// `ht_mode`, `placement` — are deliberately excluded: they cannot
+    /// influence a fleet-free chip, so every duty point and placement
+    /// variant of one configuration shares a single baseline. Callers hash
+    /// this id to content-address memoized baselines across jobs.
+    #[must_use]
+    pub fn baseline_id(&self) -> String {
+        let manager = match self.manager {
+            ManagerLocation::Center => "center".to_string(),
+            ManagerLocation::Corner => "corner".to_string(),
+            ManagerLocation::At(n) => format!("at{}", n.0),
+        };
+        let routing = match self.routing {
+            RoutingKind::Xy => "xy",
+            RoutingKind::OddEven => "oddeven",
+            RoutingKind::WestFirst => "westfirst",
+        };
+        format!(
+            "baseline-n{}-{}-{}-{}-{}-e{}-b{:016x}-w{}-m{}-mem{}-dc{}-s{:x}",
+            self.nodes,
+            self.mix.name(),
+            manager,
+            self.allocator.name(),
+            routing,
+            self.epoch(),
+            // Bit pattern, not a decimal rendering: two fractions that
+            // print alike but differ in the last ulp must not share a
+            // baseline.
+            self.budget_fraction.to_bits(),
+            self.warmup_epochs,
+            self.measure_epochs,
+            u8::from(self.memory_traffic),
+            u8::from(self.detailed_caches),
+            self.seed,
+        )
+    }
+
     /// The mesh this configuration's node count resolves to.
     ///
     /// # Panics
@@ -413,24 +452,26 @@ pub fn run_clean_baseline(cfg: &CampaignConfig) -> PerformanceReport {
 #[must_use]
 pub fn run_campaign(cfg: &CampaignConfig, duty: f64) -> CampaignResult {
     let clean = run_clean_baseline(cfg);
-    run_campaign_with_baseline(cfg, duty, clean)
+    run_campaign_with_baseline(cfg, duty, &clean)
 }
 
 /// Like [`run_campaign`] but reusing a precomputed clean baseline (the
 /// baseline depends on the configuration, not on the placement or duty).
+/// Borrowed, not owned: sweeps and regression drivers share one baseline
+/// across every duty point and placement without cloning per point.
 #[must_use]
 pub fn run_campaign_with_baseline(
     cfg: &CampaignConfig,
     duty: f64,
-    clean: PerformanceReport,
+    clean: &PerformanceReport,
 ) -> CampaignResult {
     let mut attacked_sys = build_attacked_system(cfg, duty, None);
     let attacked = run_to_report(cfg, &mut attacked_sys);
 
-    let outcome = AttackOutcome::compare(&attacked, &clean)
+    let outcome = AttackOutcome::compare(&attacked, clean)
         .expect("mixes always contain attackers and victims with live baselines");
     CampaignResult {
-        clean,
+        clean: clean.clone(),
         attacked,
         outcome,
     }
@@ -495,7 +536,21 @@ pub struct AttackSweepPoint {
 /// one baseline across the sweep as a sequential optimisation).
 #[must_use]
 pub fn attack_sweep_point(cfg: &CampaignConfig, duty: f64) -> AttackSweepPoint {
-    let result = run_campaign(cfg, duty);
+    let clean = run_clean_baseline(cfg);
+    attack_sweep_point_with_baseline(cfg, duty, &clean)
+}
+
+/// Like [`attack_sweep_point`] but against a caller-provided clean
+/// baseline. Because the baseline is a pure function of `cfg`, substituting
+/// a memoized copy (e.g. from a cross-job baseline cache) yields the
+/// bit-identical point.
+#[must_use]
+pub fn attack_sweep_point_with_baseline(
+    cfg: &CampaignConfig,
+    duty: f64,
+    clean: &PerformanceReport,
+) -> AttackSweepPoint {
+    let result = run_campaign_with_baseline(cfg, duty, clean);
     AttackSweepPoint {
         duty,
         infection: result.outcome.infection_rate,
@@ -512,15 +567,7 @@ pub fn attack_sweep(cfg: &CampaignConfig, duties: &[f64]) -> Vec<AttackSweepPoin
     let clean = run_clean_baseline(cfg);
     duties
         .iter()
-        .map(|&duty| {
-            let result = run_campaign_with_baseline(cfg, duty, clean.clone());
-            AttackSweepPoint {
-                duty,
-                infection: result.outcome.infection_rate,
-                q_value: result.outcome.q_value,
-                outcome: result.outcome,
-            }
-        })
+        .map(|&duty| attack_sweep_point_with_baseline(cfg, duty, &clean))
         .collect()
 }
 
@@ -543,6 +590,20 @@ pub struct OptComparison {
 /// placements for one mix (Section V-C, second experiment).
 #[must_use]
 pub fn optimal_vs_random(cfg: &CampaignConfig, m: usize, random_seeds: &[u64]) -> OptComparison {
+    let clean = run_clean_baseline(cfg);
+    optimal_vs_random_with(cfg, m, random_seeds, &clean)
+}
+
+/// Like [`optimal_vs_random`] but against a caller-provided clean baseline.
+/// Placement is not baseline-relevant (see [`CampaignConfig::baseline_id`]),
+/// so one report covers the optimized and every random variant.
+#[must_use]
+pub fn optimal_vs_random_with(
+    cfg: &CampaignConfig,
+    m: usize,
+    random_seeds: &[u64],
+    clean: &PerformanceReport,
+) -> OptComparison {
     let mesh = cfg.mesh();
     let manager = cfg.manager.resolve(mesh);
     // The optimizer may not use the manager's own router: Fig. 3/4 treat it
@@ -555,11 +616,10 @@ pub fn optimal_vs_random(cfg: &CampaignConfig, m: usize, random_seeds: &[u64]) -
     // attacker's stealth margin and keeps Q on the measured part of the
     // curve.
     let duty = 0.9;
-    let clean = run_clean_baseline(cfg);
 
     let mut opt_cfg = cfg.clone();
     opt_cfg.placement = Some(optimal.placement.clone());
-    let q_optimal = run_campaign_with_baseline(&opt_cfg, duty, clean.clone())
+    let q_optimal = run_campaign_with_baseline(&opt_cfg, duty, clean)
         .outcome
         .q_value;
 
@@ -572,7 +632,7 @@ pub fn optimal_vs_random(cfg: &CampaignConfig, m: usize, random_seeds: &[u64]) -
             &PlacementStrategy::Random { seed },
             &[manager],
         ));
-        q_sum += run_campaign_with_baseline(&rnd_cfg, duty, clean.clone())
+        q_sum += run_campaign_with_baseline(&rnd_cfg, duty, clean)
             .outcome
             .q_value;
     }
@@ -622,6 +682,22 @@ pub fn regression_dataset(
     mixes: &[Mix],
     placements: &[Placement],
 ) -> Vec<AttackSample> {
+    regression_dataset_with(base, mixes, placements, |cfg| {
+        std::sync::Arc::new(run_clean_baseline(cfg))
+    })
+}
+
+/// Like [`regression_dataset`] but resolving each mix's clean baseline
+/// through `baseline_for` (e.g. a cross-job memoization cache). The
+/// callback receives the per-mix configuration *before* any placement is
+/// attached, so its [`CampaignConfig::baseline_id`] is the shared one.
+#[must_use]
+pub fn regression_dataset_with(
+    base: &CampaignConfig,
+    mixes: &[Mix],
+    placements: &[Placement],
+    mut baseline_for: impl FnMut(&CampaignConfig) -> std::sync::Arc<PerformanceReport>,
+) -> Vec<AttackSample> {
     let table = DvfsTable::default_six_level();
     let mesh = base.mesh();
     let manager = base.manager.resolve(mesh);
@@ -639,11 +715,11 @@ pub fn regression_dataset(
             .sum();
         let mut mix_cfg = base.clone();
         mix_cfg.mix = mix;
-        let clean = run_clean_baseline(&mix_cfg);
+        let clean = baseline_for(&mix_cfg);
         for placement in placements {
             let mut cfg = mix_cfg.clone();
             cfg.placement = Some(placement.clone());
-            let result = run_campaign_with_baseline(&cfg, 0.9, clean.clone());
+            let result = run_campaign_with_baseline(&cfg, 0.9, &clean);
             samples.push(AttackSample {
                 rho: placement.distance_rho(mesh, manager).unwrap_or(0.0),
                 eta: placement.density_eta(mesh).unwrap_or(0.0),
@@ -812,6 +888,104 @@ pub fn resilience_point(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn baseline_id_covers_baseline_fields_and_ignores_attack_knobs() {
+        let base = CampaignConfig::tiny(Mix::Mix1);
+        // Attack-side knobs must not perturb the id: all duty points and
+        // placement variants of one config share a single clean baseline.
+        let mut attacked = base.clone();
+        attacked.tamper_rule = TamperRule::ScalePercent(10);
+        attacked.ht_mode = TrojanMode::PacketDrop;
+        assert_eq!(base.baseline_id(), attacked.baseline_id());
+        // Every baseline-relevant field must perturb it.
+        for (label, cfg) in [
+            ("nodes", {
+                let mut c = base.clone();
+                c.nodes = 64;
+                c
+            }),
+            ("mix", CampaignConfig::tiny(Mix::Mix2)),
+            ("manager", {
+                let mut c = base.clone();
+                c.manager = ManagerLocation::Corner;
+                c
+            }),
+            ("allocator", {
+                let mut c = base.clone();
+                c.allocator = AllocatorKind::Greedy;
+                c
+            }),
+            ("routing", {
+                let mut c = base.clone();
+                c.routing = RoutingKind::OddEven;
+                c
+            }),
+            ("epoch", {
+                let mut c = base.clone();
+                c.epoch_cycles = Some(500);
+                c
+            }),
+            ("budget", {
+                let mut c = base.clone();
+                c.budget_fraction = 0.7;
+                c
+            }),
+            ("measure_epochs", {
+                let mut c = base.clone();
+                c.measure_epochs += 5;
+                c
+            }),
+            ("seed", {
+                let mut c = base.clone();
+                c.seed ^= 1;
+                c
+            }),
+        ] {
+            assert_ne!(base.baseline_id(), cfg.baseline_id(), "{label}");
+        }
+    }
+
+    #[test]
+    fn shared_baseline_drivers_match_inline_baselines_bit_for_bit() {
+        use std::sync::Arc;
+        let cfg = CampaignConfig::tiny(Mix::Mix4);
+        let clean = run_clean_baseline(&cfg);
+
+        let inline_point = attack_sweep_point(&cfg, 0.5);
+        let shared_point = attack_sweep_point_with_baseline(&cfg, 0.5, &clean);
+        assert_eq!(
+            inline_point.infection.to_bits(),
+            shared_point.infection.to_bits()
+        );
+        assert_eq!(
+            inline_point.q_value.to_bits(),
+            shared_point.q_value.to_bits()
+        );
+
+        let inline_cmp = optimal_vs_random(&cfg, 3, &[1, 2]);
+        let shared_cmp = optimal_vs_random_with(&cfg, 3, &[1, 2], &clean);
+        assert_eq!(
+            inline_cmp.q_optimal.to_bits(),
+            shared_cmp.q_optimal.to_bits()
+        );
+        assert_eq!(inline_cmp.q_random.to_bits(), shared_cmp.q_random.to_bits());
+
+        let mesh = cfg.mesh();
+        let manager = cfg.manager.resolve(mesh);
+        let placements = regression_placements(mesh, manager);
+        let inline_samples = regression_dataset(&cfg, &[Mix::Mix4], &placements[..2]);
+        let mut calls = 0;
+        let shared_samples = regression_dataset_with(&cfg, &[Mix::Mix4], &placements[..2], |c| {
+            calls += 1;
+            Arc::new(run_clean_baseline(c))
+        });
+        assert_eq!(calls, 1, "one baseline per mix, shared across placements");
+        assert_eq!(inline_samples.len(), shared_samples.len());
+        for (a, b) in inline_samples.iter().zip(&shared_samples) {
+            assert_eq!(a.q.to_bits(), b.q.to_bits());
+        }
+    }
 
     #[test]
     fn manager_location_resolution() {

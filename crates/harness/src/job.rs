@@ -10,11 +10,13 @@
 
 use htpb_attack::{AttackSample, Mix, PlacementStrategy};
 use htpb_core::experiments::{
-    attack_sweep_point, fig3_point, fig4_point, optimal_vs_random, regression_dataset,
+    attack_sweep_point, attack_sweep_point_with_baseline, fig3_point, fig4_point,
+    optimal_vs_random, optimal_vs_random_with, regression_dataset, regression_dataset_with,
     regression_placements, resilience_point, CampaignConfig, ManagerLocation,
 };
 use htpb_core::AllocatorKind;
 
+use crate::baseline::BaselineCache;
 use crate::json::Value;
 
 /// Which [`CampaignConfig`] constructor a campaign-based job uses.
@@ -396,6 +398,78 @@ impl JobSpec {
                 std::fs::write(path, b"attempted\n").expect("write flaky-probe marker");
                 panic!("flaky probe: first attempt always fails");
             }
+        }
+    }
+
+    /// Runs the job, resolving clean baselines through `baselines` when one
+    /// is supplied. The second element reports baseline-cache use: `None`
+    /// for jobs that have no shared clean baseline (or when no cache was
+    /// given — the baseline is then computed inline, exactly as
+    /// [`execute`](Self::execute) does), `Some(hit)` otherwise.
+    ///
+    /// Cached and inline baselines are bit-identical (the clean system is
+    /// seeded independently of the attack side), so the [`JobOutput`] never
+    /// depends on whether a cache was supplied.
+    #[must_use]
+    pub fn execute_with(&self, baselines: Option<&BaselineCache>) -> (JobOutput, Option<bool>) {
+        let Some(cache) = baselines else {
+            return (self.execute(), None);
+        };
+        match self {
+            JobSpec::SweepPoint {
+                mix,
+                scale,
+                duty_tenths,
+            } => {
+                let cfg = scale.config(*mix);
+                let duty = f64::from(*duty_tenths) / 10.0;
+                let (clean, hit) = cache.get_or_compute(&cfg);
+                let p = attack_sweep_point_with_baseline(&cfg, duty, &clean);
+                (
+                    JobOutput::Sweep {
+                        duty: p.duty,
+                        infection: p.infection,
+                        q: p.q_value,
+                        changes: p.outcome.changes.iter().map(|(_, _, c)| *c).collect(),
+                    },
+                    Some(hit),
+                )
+            }
+            JobSpec::OptCompare {
+                mix,
+                scale,
+                m,
+                seeds,
+            } => {
+                let cfg = scale.config(*mix);
+                let (clean, hit) = cache.get_or_compute(&cfg);
+                let cmp = optimal_vs_random_with(&cfg, *m, seeds, &clean);
+                (
+                    JobOutput::Opt {
+                        q_optimal: cmp.q_optimal,
+                        q_random: cmp.q_random,
+                        improvement: cmp.improvement,
+                    },
+                    Some(hit),
+                )
+            }
+            JobSpec::RegressionMix { mix, scale, nodes } => {
+                let mut base = scale.config(Mix::Mix1);
+                base.nodes = *nodes;
+                let mesh = base.mesh();
+                let manager = base.manager.resolve(mesh);
+                let placements = regression_placements(mesh, manager);
+                // One baseline per mix; a job is a "hit" only if every one
+                // of its baselines was served from the cache.
+                let mut used: Option<bool> = None;
+                let samples = regression_dataset_with(&base, &[*mix], &placements, |cfg| {
+                    let (clean, hit) = cache.get_or_compute(cfg);
+                    used = Some(used.unwrap_or(true) && hit);
+                    clean
+                });
+                (JobOutput::Samples(samples), used)
+            }
+            _ => (self.execute(), None),
         }
     }
 }

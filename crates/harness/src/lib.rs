@@ -12,6 +12,9 @@
 //! - [`ResultCache`] — a content-addressed on-disk cache under
 //!   `<outdir>/.cache/`; re-runs skip completed points and interrupted
 //!   campaigns resume ([`cache`]);
+//! - [`BaselineCache`] — cross-job memoization of clean baseline
+//!   campaigns (in-process + on-disk), so per-point sweep jobs share one
+//!   baseline per configuration instead of recomputing it ([`baseline`]);
 //! - [`Journal`] — an append-only JSONL run journal at
 //!   `<outdir>/journal.jsonl` with per-job and per-stage timings
 //!   ([`journal`]);
@@ -30,6 +33,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod baseline;
 pub mod cache;
 pub mod cli;
 pub mod hash;
@@ -40,6 +44,7 @@ pub mod repro;
 pub mod resilience;
 pub mod runner;
 
+pub use baseline::BaselineCache;
 pub use cache::{ResultCache, SCHEMA_VERSION};
 pub use cli::HarnessArgs;
 pub use job::{CampaignScale, Fig4Strategy, JobOutput, JobSpec};

@@ -467,6 +467,11 @@ pub struct ReproOutcome {
     pub jobs: usize,
     /// Jobs served from the cache.
     pub cache_hits: usize,
+    /// Jobs whose clean baseline was served from the baseline cache.
+    pub baseline_hits: usize,
+    /// Jobs that had to compute their clean baseline (first job per
+    /// campaign configuration when a [`crate::BaselineCache`] is set).
+    pub baseline_misses: usize,
     /// Jobs whose scenario panicked.
     pub failed: usize,
 }
@@ -511,6 +516,8 @@ pub fn run_repro(scale: ReproScale, outdir: &Path, opts: &RunOptions) -> io::Res
     let started = Instant::now();
     let reports = run_jobs(&plan.jobs, opts, &journal);
     let cache_hits = reports.iter().filter(|r| r.cache_hit).count();
+    let baseline_hits = reports.iter().filter(|r| r.baseline == Some(true)).count();
+    let baseline_misses = reports.iter().filter(|r| r.baseline == Some(false)).count();
     let failed = reports.iter().filter(|r| r.output.is_err()).count();
 
     let summary = match plan.assemble(&reports) {
@@ -541,12 +548,16 @@ pub fn run_repro(scale: ReproScale, outdir: &Path, opts: &RunOptions) -> io::Res
             ("ok", Value::Bool(failed == 0)),
             ("failed", Value::Int(failed as i64)),
             ("cache_hits", Value::Int(cache_hits as i64)),
+            ("baseline_hits", Value::Int(baseline_hits as i64)),
+            ("baseline_misses", Value::Int(baseline_misses as i64)),
         ],
     );
     Ok(ReproOutcome {
         summary,
         jobs: plan.jobs.len(),
         cache_hits,
+        baseline_hits,
+        baseline_misses,
         failed,
     })
 }
@@ -689,6 +700,8 @@ pub fn run_repro_sequential(scale: ReproScale, outdir: &Path) -> io::Result<Repr
         summary,
         jobs: 0,
         cache_hits: 0,
+        baseline_hits: 0,
+        baseline_misses: 0,
         failed: 0,
     })
 }

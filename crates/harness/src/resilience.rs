@@ -219,6 +219,10 @@ pub fn run_resilience_plan(
         summary,
         jobs: plan.jobs.len(),
         cache_hits,
+        // Resilience baselines are fault-laden and duty-specific, so the
+        // shared-baseline cache never applies here.
+        baseline_hits: 0,
+        baseline_misses: 0,
         failed,
     })
 }

@@ -18,10 +18,11 @@
 
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{mpsc, Mutex};
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
+use crate::baseline::BaselineCache;
 use crate::cache::ResultCache;
 use crate::job::{JobOutput, JobSpec};
 use crate::journal::Journal;
@@ -34,6 +35,9 @@ pub struct RunOptions {
     pub workers: usize,
     /// Result cache; `None` disables caching entirely (`--no-cache`).
     pub cache: Option<ResultCache>,
+    /// Clean-baseline memoization shared by all workers; `None` computes
+    /// baselines inline per job (bit-identical, just slower).
+    pub baselines: Option<Arc<BaselineCache>>,
     /// Emit a progress/ETA line on stderr while running.
     pub progress: bool,
     /// Per-job wall-clock limit; `None` (the default) lets jobs run
@@ -51,6 +55,7 @@ impl RunOptions {
         RunOptions {
             workers: 1,
             cache: None,
+            baselines: None,
             progress: false,
             job_timeout: None,
             retries: 1,
@@ -74,6 +79,10 @@ pub struct JobReport {
     pub output: Result<JobOutput, String>,
     /// Whether the result came from the cache.
     pub cache_hit: bool,
+    /// Baseline-cache use: `None` for jobs without a shared clean baseline
+    /// (or when no [`BaselineCache`] was configured, or on a result-cache
+    /// hit), otherwise whether the baseline was served from the cache.
+    pub baseline: Option<bool>,
     /// Wall time of this job (near zero for cache hits).
     pub secs: f64,
     /// Index of the worker that ran the job.
@@ -117,7 +126,7 @@ pub fn run_jobs(jobs: &[JobSpec], opts: &RunOptions, journal: &Journal) -> Vec<J
                 }
                 let spec = &jobs[i];
                 let t0 = Instant::now();
-                let (output, cache_hit) = execute_with_retries(spec, opts, journal);
+                let (output, cache_hit, baseline) = execute_with_retries(spec, opts, journal);
                 let secs = t0.elapsed().as_secs_f64();
                 journal.job(
                     &spec.id(),
@@ -128,10 +137,17 @@ pub fn run_jobs(jobs: &[JobSpec], opts: &RunOptions, journal: &Journal) -> Vec<J
                     secs,
                     output.as_ref().err().map(String::as_str),
                 );
+                if let Some(hit) = baseline {
+                    journal.record(
+                        if hit { "baseline_hit" } else { "baseline_miss" },
+                        vec![("id", Value::Str(spec.id()))],
+                    );
+                }
                 *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(JobReport {
                     spec: spec.clone(),
                     output,
                     cache_hit,
+                    baseline,
                     secs,
                     worker,
                 });
@@ -169,11 +185,15 @@ fn execute_with_retries(
     spec: &JobSpec,
     opts: &RunOptions,
     journal: &Journal,
-) -> (Result<JobOutput, String>, bool) {
+) -> (Result<JobOutput, String>, bool, Option<bool>) {
     let mut attempt: u32 = 0;
     loop {
-        let (output, cache_hit, timed_out) =
-            execute_one(spec, opts.cache.as_ref(), opts.job_timeout);
+        let (output, cache_hit, baseline, timed_out) = execute_one(
+            spec,
+            opts.cache.as_ref(),
+            opts.baselines.as_ref(),
+            opts.job_timeout,
+        );
         if timed_out {
             journal.record(
                 "job_timeout",
@@ -199,25 +219,30 @@ fn execute_with_retries(
             );
             continue;
         }
-        return (output, cache_hit);
+        return (output, cache_hit, baseline);
     }
 }
 
-/// Runs one attempt. The third return flags a wall-clock timeout (the
-/// caller decides whether to retry).
+/// Runs one attempt. The last return flags a wall-clock timeout (the
+/// caller decides whether to retry); the `Option<bool>` reports
+/// baseline-cache use exactly as [`JobSpec::execute_with`] does.
 fn execute_one(
     spec: &JobSpec,
     cache: Option<&ResultCache>,
+    baselines: Option<&Arc<BaselineCache>>,
     timeout: Option<Duration>,
-) -> (Result<JobOutput, String>, bool, bool) {
+) -> (Result<JobOutput, String>, bool, Option<bool>, bool) {
     if let Some(cache) = cache {
         if let Some(output) = cache.load(spec) {
-            return (Ok(output), true, false);
+            // A result-cache hit never touches the baseline layer.
+            return (Ok(output), true, None, false);
         }
     }
     let result = match timeout {
-        None => panic::catch_unwind(AssertUnwindSafe(|| spec.execute()))
-            .map_err(|payload| panic_message(payload.as_ref())),
+        None => panic::catch_unwind(AssertUnwindSafe(|| {
+            spec.execute_with(baselines.map(Arc::as_ref))
+        }))
+        .map_err(|payload| panic_message(payload.as_ref())),
         Some(limit) => {
             // The job runs on a detached thread so a hung scenario cannot
             // wedge the worker: on timeout the thread is leaked (it parks
@@ -230,11 +255,14 @@ fn execute_one(
             let started = Instant::now();
             let (tx, rx) = mpsc::channel();
             let owned = spec.clone();
+            let shared = baselines.map(Arc::clone);
             let spawned = thread::Builder::new()
                 .name(format!("job-{}", owned.id()))
                 .spawn(move || {
-                    let r = panic::catch_unwind(AssertUnwindSafe(|| owned.execute()))
-                        .map_err(|payload| panic_message(payload.as_ref()));
+                    let r = panic::catch_unwind(AssertUnwindSafe(|| {
+                        owned.execute_with(shared.as_deref())
+                    }))
+                    .map_err(|payload| panic_message(payload.as_ref()));
                     let _ = tx.send(r);
                 });
             match spawned {
@@ -245,6 +273,7 @@ fn execute_one(
                         return (
                             Err(format!("timed out after {:.1}s", limit.as_secs_f64())),
                             false,
+                            None,
                             true,
                         )
                     }
@@ -253,7 +282,7 @@ fn execute_one(
         }
     };
     match result {
-        Ok(output) => {
+        Ok((output, baseline)) => {
             if let Some(cache) = cache {
                 if let Err(e) = cache.store(spec, &output) {
                     eprintln!(
@@ -262,9 +291,9 @@ fn execute_one(
                     );
                 }
             }
-            (Ok(output), false, false)
+            (Ok(output), false, baseline, false)
         }
-        Err(e) => (Err(e), false, false),
+        Err(e) => (Err(e), false, None, false),
     }
 }
 
@@ -321,6 +350,47 @@ mod tests {
             assert_eq!(a.spec, b.spec);
             assert_eq!(a.output.as_ref().unwrap(), b.output.as_ref().unwrap());
         }
+    }
+
+    #[test]
+    fn baseline_cache_keeps_outputs_identical_and_journals_use() {
+        use crate::job::CampaignScale;
+        use htpb_attack::Mix;
+        let jobs: Vec<JobSpec> = [0u32, 3, 6]
+            .iter()
+            .map(|&duty_tenths| JobSpec::SweepPoint {
+                mix: Mix::Mix1,
+                scale: CampaignScale::Tiny,
+                duty_tenths,
+            })
+            .collect();
+        let plain = run_jobs(&jobs, &RunOptions::sequential(), &Journal::disabled());
+        let journal_path =
+            std::env::temp_dir().join(format!("htpb-runner-baseline-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&journal_path);
+        let journal = Journal::open(&journal_path).unwrap();
+        let cache = Arc::new(BaselineCache::in_memory());
+        let cached = run_jobs(
+            &jobs,
+            &RunOptions {
+                baselines: Some(Arc::clone(&cache)),
+                ..RunOptions::sequential()
+            },
+            &journal,
+        );
+        for (a, b) in plain.iter().zip(&cached) {
+            // Memoized baselines are bit-identical to inline ones.
+            assert_eq!(a.output.as_ref().unwrap(), b.output.as_ref().unwrap());
+            assert_eq!(a.baseline, None, "no cache configured, nothing to report");
+            assert!(b.baseline.is_some(), "sweep jobs report baseline use");
+        }
+        // All three duty points share one config: one computation, two hits.
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 2);
+        let text = std::fs::read_to_string(&journal_path).unwrap();
+        assert_eq!(text.matches("\"event\":\"baseline_miss\"").count(), 1);
+        assert_eq!(text.matches("\"event\":\"baseline_hit\"").count(), 2);
+        let _ = std::fs::remove_file(&journal_path);
     }
 
     #[test]

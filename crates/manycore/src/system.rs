@@ -5,8 +5,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use htpb_noc::{
-    FaultHook, Mesh2d, Network, NetworkConfig, NocError, NodeId, NullInspector, Packet,
-    PacketInspector, PacketKind, RoutingKind,
+    DeliveredPacket, FaultHook, Mesh2d, Network, NetworkConfig, NocError, NodeId, NullInspector,
+    Packet, PacketInspector, PacketKind, RoutingKind,
 };
 use htpb_power::{
     AllocatorKind, DegradationCounters, GlobalManager, HardeningConfig, PowerModel, PowerRequest,
@@ -396,6 +396,7 @@ impl SystemBuilder {
             l2_slices,
             invalidations_sent: 0,
             missing_requesters_last_epoch: 0,
+            delivered_buf: Vec::new(),
             rng: StdRng::seed_from_u64(seed),
         })
     }
@@ -444,6 +445,10 @@ pub struct ManyCoreSystem<I: PacketInspector = NullInspector> {
     /// Workers whose requests never reached the manager in the last epoch —
     /// the tell-tale a packet-*drop* attack cannot hide.
     missing_requesters_last_epoch: usize,
+    /// Reusable ejection buffer: its capacity ping-pongs between the NoC
+    /// and [`consume_deliveries`](Self::consume_deliveries), so the
+    /// steady-state epoch loop drains deliveries without allocating.
+    delivered_buf: Vec<DeliveredPacket>,
     rng: StdRng,
 }
 
@@ -741,7 +746,11 @@ impl<I: PacketInspector> ManyCoreSystem<I> {
 
     fn consume_deliveries(&mut self) {
         let manager = self.config.manager;
-        for d in self.net.drain_ejected() {
+        // Take the buffer out so the loop body can borrow `self` mutably;
+        // `drain(..)` keeps its capacity for the next epoch.
+        let mut delivered = std::mem::take(&mut self.delivered_buf);
+        self.net.drain_ejected_into(&mut delivered);
+        for d in delivered.drain(..) {
             let p = d.packet;
             match p.kind() {
                 PacketKind::PowerReq if p.dst() == manager => {
@@ -818,6 +827,7 @@ impl<I: PacketInspector> ManyCoreSystem<I> {
                 _ => {}
             }
         }
+        self.delivered_buf = delivered;
     }
 
     /// Serves an L2 request at its home node in detailed mode: consults the

@@ -56,9 +56,42 @@ pub struct Flit {
     /// Cycle at which the packet was injected (head flit only, for latency
     /// accounting).
     pub injected_at: u64,
+    /// Index of the packet's bookkeeping slot in the owning network's
+    /// packet store. [`Flit::NO_SLOT`] for flits created outside a network
+    /// (unit tests, reference models) — such flits carry all their metadata
+    /// inline and never touch a store.
+    pub slot: u32,
 }
 
 impl Flit {
+    /// Sentinel [`Flit::slot`] for flits not backed by a packet store.
+    pub const NO_SLOT: u32 = u32::MAX;
+
+    /// Builds the `i`-th of the `n` wire flits of a packet, without
+    /// allocating. `i == 0` carries the header (and the packet frame);
+    /// `i == n - 1` terminates the wormhole; `n == 1` yields the combined
+    /// `HeadTail` flit of a meta packet.
+    #[must_use]
+    pub fn nth(packet: Packet, packet_id: u64, now: u64, i: usize, n: usize) -> Flit {
+        let kind = if n == 1 {
+            FlitKind::HeadTail
+        } else if i == 0 {
+            FlitKind::Head
+        } else if i == n - 1 {
+            FlitKind::Tail
+        } else {
+            FlitKind::Body
+        };
+        Flit {
+            kind,
+            packet_id,
+            dst: packet.dst(),
+            packet: kind.is_head().then_some(packet),
+            injected_at: now,
+            slot: Flit::NO_SLOT,
+        }
+    }
+
     /// Splits a packet into its wire flits.
     ///
     /// Meta packets (power requests/grants, config commands, coherence
@@ -67,33 +100,9 @@ impl Flit {
     #[must_use]
     pub fn packetize(packet: Packet, packet_id: u64, now: u64) -> Vec<Flit> {
         let n = packet.flit_count();
-        if n == 1 {
-            return vec![Flit {
-                kind: FlitKind::HeadTail,
-                packet_id,
-                dst: packet.dst(),
-                packet: Some(packet),
-                injected_at: now,
-            }];
-        }
-        let mut flits = Vec::with_capacity(n);
-        for i in 0..n {
-            let kind = if i == 0 {
-                FlitKind::Head
-            } else if i == n - 1 {
-                FlitKind::Tail
-            } else {
-                FlitKind::Body
-            };
-            flits.push(Flit {
-                kind,
-                packet_id,
-                dst: packet.dst(),
-                packet: kind.is_head().then_some(packet),
-                injected_at: now,
-            });
-        }
-        flits
+        (0..n)
+            .map(|i| Flit::nth(packet, packet_id, now, i, n))
+            .collect()
     }
 }
 

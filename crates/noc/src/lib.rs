@@ -43,6 +43,7 @@ mod packet;
 mod router;
 mod routing;
 mod stats;
+mod store;
 mod topology;
 mod trace;
 mod traffic;
@@ -62,6 +63,7 @@ pub use routing::{
     OddEvenRouting, RouteCandidates, RoutingAlgorithm, RoutingKind, WestFirstRouting, XyRouting,
 };
 pub use stats::{LatencyHistogram, NetworkStats};
+pub use store::PacketStore;
 pub use topology::{Coord, Direction, Mesh2d, NodeId};
 pub use trace::{TraceBuffer, TraceEvent};
 pub use traffic::{HotspotTraffic, TrafficPattern, UniformTraffic};

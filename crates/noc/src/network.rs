@@ -4,12 +4,12 @@ use crate::active::{ActiveSet, BitsIter};
 use crate::error::NocError;
 use crate::fault::{FaultAction, FaultHook};
 use crate::flit::Flit;
-use crate::fnv::FnvHashMap;
 use crate::inspect::{NullInspector, PacketInspector};
 use crate::packet::{Packet, PacketKind};
 use crate::router::{Router, RouterConfig};
 use crate::routing::{RoutingAlgorithm, RoutingKind};
 use crate::stats::NetworkStats;
+use crate::store::PacketStore;
 use crate::topology::{Direction, Mesh2d, NodeId};
 use crate::trace::{TraceBuffer, TraceEvent};
 
@@ -83,13 +83,6 @@ pub struct DeliveredPacket {
     pub modified: bool,
 }
 
-#[derive(Debug, Clone, Copy)]
-struct PacketMeta {
-    injected_at: u64,
-    hops: u32,
-    modified: bool,
-}
-
 /// A cycle-accurate wormhole-switched 2D-mesh network.
 ///
 /// The per-cycle pipeline models a two-cycle router plus one-cycle links
@@ -129,9 +122,10 @@ pub struct Network<I: PacketInspector = NullInspector> {
     /// Local input VC currently receiving an in-progress injected packet.
     injection_vc: Vec<Option<usize>>,
     injection_capacity: usize,
-    in_flight: FnvHashMap<u64, PacketMeta>,
-    /// Head packets of partially ejected multi-flit packets.
-    pending_heads: FnvHashMap<u64, Packet>,
+    /// Slab of per-packet bookkeeping (injection cycle, hops, tamper flag,
+    /// parked head frames). Flits carry their slot index, so hot-path
+    /// metadata touches are one array access, not a hash probe.
+    store: PacketStore,
     ejected: Vec<DeliveredPacket>,
     inspector: I,
     /// Optional deterministic fault layer ([`FaultHook`]). `None` (the
@@ -186,8 +180,7 @@ impl<I: PacketInspector> Network<I> {
             injection_queues: (0..nodes).map(|_| VecDeque::new()).collect(),
             injection_vc: vec![None; nodes],
             injection_capacity: config.injection_queue_capacity,
-            in_flight: FnvHashMap::default(),
-            pending_heads: FnvHashMap::default(),
+            store: PacketStore::new(),
             ejected: Vec::new(),
             inspector,
             faults: None,
@@ -309,21 +302,15 @@ impl<I: PacketInspector> Network<I> {
         }
         let id = self.next_packet_id;
         self.next_packet_id += 1;
-        let mut flits = 0usize;
-        for flit in Flit::packetize(packet, id, self.cycle) {
+        let slot = self.store.alloc(id, self.cycle);
+        let n = packet.flit_count();
+        for i in 0..n {
+            let mut flit = Flit::nth(packet, id, self.cycle, i, n);
+            flit.slot = slot;
             queue.push_back(flit);
-            flits += 1;
         }
-        self.queued_flits += flits;
+        self.queued_flits += n;
         self.inject_busy.insert(packet.src().0 as usize);
-        self.in_flight.insert(
-            id,
-            PacketMeta {
-                injected_at: self.cycle,
-                hops: 0,
-                modified: false,
-            },
-        );
         if let Some(trace) = self.trace.as_mut() {
             trace.record(TraceEvent::Injected {
                 packet: id,
@@ -342,11 +329,20 @@ impl<I: PacketInspector> Network<I> {
         std::mem::take(&mut self.ejected)
     }
 
+    /// Moves all packets delivered since the previous call into `out`
+    /// (cleared first), swapping buffers so both sides recycle their
+    /// capacity — the allocation-free variant of [`Self::drain_ejected`]
+    /// for callers that drain every few cycles.
+    pub fn drain_ejected_into(&mut self, out: &mut Vec<DeliveredPacket>) {
+        out.clear();
+        std::mem::swap(&mut self.ejected, out);
+    }
+
     /// Whether no flit is buffered, queued, or in flight anywhere. O(1) —
     /// both counters are maintained incrementally.
     #[must_use]
     pub fn is_idle(&self) -> bool {
-        self.in_flight.is_empty() && self.queued_flits == 0
+        self.store.live() == 0 && self.queued_flits == 0
     }
 
     /// Whether every pipeline stage would be a no-op this cycle: no router
@@ -399,7 +395,7 @@ impl<I: PacketInspector> Network<I> {
         // delivered, dropped, or still tracked in flight — even under
         // fault-induced drops.
         assert_eq!(
-            self.in_flight.len() as u64,
+            self.store.live() as u64,
             self.stats.injected_packets()
                 - self.stats.delivered_packets()
                 - self.stats.dropped_packets(),
@@ -415,18 +411,18 @@ impl<I: PacketInspector> Network<I> {
         let on_links = self.links.iter().filter(|l| l.is_some()).count();
         let present = buffered + on_links + self.queued_flits;
         assert!(
-            present >= self.in_flight.len(),
+            present >= self.store.live(),
             "cycle {}: {} in-flight packets but only {} flits present",
             self.cycle,
-            self.in_flight.len(),
+            self.store.live(),
             present
         );
         assert!(
-            present <= self.in_flight.len() * crate::flit::FLITS_PER_DATA_PACKET,
+            present <= self.store.live() * crate::flit::FLITS_PER_DATA_PACKET,
             "cycle {}: {} flits present exceed {} in-flight packets x max flits",
             self.cycle,
             present,
-            self.in_flight.len()
+            self.store.live()
         );
         // Per-VC credit conservation: for every link, the upstream port's
         // credit count plus the downstream buffer occupancy plus any flit
@@ -442,7 +438,8 @@ impl<I: PacketInspector> Network<I> {
                 let in_port = Direction::OPPOSITE_INDEX[dir.index()];
                 for vc in 0..vcs {
                     let credits = self.routers[ri].output_credit(dir, vc);
-                    let downstream = self.routers[down.0 as usize].inputs[in_port][vc].len();
+                    let down_router = &self.routers[down.0 as usize];
+                    let downstream = down_router.vc_len(down_router.slot(in_port, vc));
                     let in_transit =
                         usize::from(matches!(self.links[li], Some((_, ovc)) if ovc == vc));
                     assert_eq!(
@@ -453,6 +450,11 @@ impl<I: PacketInspector> Network<I> {
                     );
                 }
             }
+        }
+        // The incrementally maintained switch-request / VA-pending /
+        // unrouted masks must agree with a rebuild from the VC state.
+        for r in &self.routers {
+            r.debug_masks_consistent();
         }
         // Worklist consistency: the active set is exactly the routers
         // holding flits, and the link set exactly the occupied slots.
@@ -545,24 +547,26 @@ impl<I: PacketInspector> Network<I> {
             }
             // Sink stage for dropped packets — gated on the O(1) dropping
             // counter; routers with nothing to sink skip the 5 × VCs scan.
+            // Ascending slot order == the historical (port, vc) nesting.
+            let vcs = self.routers[ri].config().vcs;
+            let slots = 5 * vcs;
             if self.routers[ri].has_dropping() {
-                for in_port in 0..5 {
-                    for vc in 0..self.routers[ri].config().vcs {
-                        if !self.routers[ri].inputs[in_port][vc].dropping {
-                            continue;
+                for slot in 0..slots {
+                    if !self.routers[ri].vc_state[slot].dropping {
+                        continue;
+                    }
+                    let Some(flit) = self.routers[ri].pop_flit(slot) else {
+                        continue;
+                    };
+                    let (in_port, vc) = (slot / vcs, slot % vcs);
+                    if let Some(up_out) = Direction::ALL[in_port].opposite() {
+                        if let Some(up) = self.neighbor_tbl[ri * 4 + in_port] {
+                            credit_returns.push((up, up_out, vc, flit.kind.is_tail()));
                         }
-                        let Some(flit) = self.routers[ri].pop_flit(in_port, vc) else {
-                            continue;
-                        };
-                        if let Some(up_out) = Direction::ALL[in_port].opposite() {
-                            if let Some(up) = self.neighbor_tbl[ri * 4 + in_port] {
-                                credit_returns.push((up, up_out, vc, flit.kind.is_tail()));
-                            }
-                        }
-                        if flit.kind.is_tail() {
-                            self.in_flight.remove(&flit.packet_id);
-                            self.stats.on_packet_dropped();
-                        }
+                    }
+                    if flit.kind.is_tail() {
+                        self.store.free(flit.slot);
+                        self.stats.on_packet_dropped();
                     }
                 }
             }
@@ -583,47 +587,47 @@ impl<I: PacketInspector> Network<I> {
                         }
                     }
                 }
-                let vcs = self.routers[ri].config().vcs;
-                let slots = 5 * vcs;
+                // Round-robin over the slots *requesting this output* only:
+                // slots >= start ascending, then the wrap-around below
+                // start — the same visit order as the dense
+                // `(start + off) % slots` scan, minus the slots it could
+                // never have granted (empty, or routed elsewhere).
+                let req = self.routers[ri].switch_requests(od);
+                if req == 0 {
+                    continue;
+                }
                 let start = self.routers[ri].sa_rr[od];
-                // Round-robin over *occupied* slots only: slots >= start
-                // ascending, then the wrap-around below start — the same
-                // visit order as the dense `(start + off) % slots` scan,
-                // minus the empty slots it could never have granted.
-                let occ = self.routers[ri].occupied_slots();
                 let low_mask = (1u64 << start) - 1;
                 let mut granted = None;
-                for slot in BitsIter(occ & !low_mask).chain(BitsIter(occ & low_mask)) {
-                    let (in_port, vc) = (slot / vcs, slot % vcs);
+                for slot in BitsIter(req & !low_mask).chain(BitsIter(req & low_mask)) {
                     let r = &self.routers[ri];
-                    let ivc = &r.inputs[in_port][vc];
-                    debug_assert!(!ivc.is_empty(), "occupied slot holds no flit");
-                    if ivc.route != Some(out_dir) {
-                        continue;
-                    }
+                    let st = &r.vc_state[slot];
+                    debug_assert!(st.len > 0, "occupied slot holds no flit");
+                    debug_assert_eq!(st.route, Some(out_dir), "request mask drifted");
                     // A flit spends at least one full cycle buffered before
                     // it may traverse the switch (two-cycle router floor).
-                    if ivc.front_arrived_at() == Some(self.cycle) {
+                    if r.vc_front_arrived_at(slot) == Some(self.cycle) {
                         continue;
                     }
                     if out_dir != Direction::Local {
-                        let Some(ovc) = ivc.out_vc else { continue };
-                        if r.outputs[od].credits[ovc] == 0 {
+                        let Some(ovc) = st.out_vc else { continue };
+                        if r.out_credits[od * vcs + ovc] == 0 {
                             continue;
                         }
                     }
-                    granted = Some((in_port, vc));
+                    granted = Some(slot);
                     break;
                 }
-                let Some((in_port, vc)) = granted else {
+                let Some(slot) = granted else {
                     continue;
                 };
+                let (in_port, vc) = (slot / vcs, slot % vcs);
                 let bump = 1 + usize::from(self.rr_skew);
-                self.routers[ri].sa_rr[od] = (in_port * vcs + vc + bump) % slots;
+                self.routers[ri].sa_rr[od] = (slot + bump) % slots;
                 self.routers[ri].flits_forwarded += 1;
-                let out_vc = self.routers[ri].inputs[in_port][vc].out_vc;
+                let out_vc = self.routers[ri].vc_state[slot].out_vc;
                 let flit = self.routers[ri]
-                    .pop_flit(in_port, vc)
+                    .pop_flit(slot)
                     .expect("granted VC nonempty");
                 // Return a credit upstream for the buffer slot just freed.
                 if let Some(up_out) = Direction::ALL[in_port].opposite() {
@@ -635,17 +639,15 @@ impl<I: PacketInspector> Network<I> {
                     self.eject(flit);
                 } else {
                     let ovc = out_vc.expect("non-local ST requires an allocated VC");
-                    self.routers[ri].outputs[od].credits[ovc] -= 1;
+                    self.routers[ri].out_credits[od * vcs + ovc] -= 1;
                     if flit.kind.is_tail() {
                         // Path released: downstream VC becomes reusable once
                         // its buffer drains; dealloc happens on downstream pop
                         // via the credit-return channel below.
-                        self.routers[ri].outputs[od].allocated[ovc] = false;
+                        self.routers[ri].out_allocated[od * vcs + ovc] = false;
                     }
                     if flit.kind.is_head() {
-                        if let Some(meta) = self.in_flight.get_mut(&flit.packet_id) {
-                            meta.hops += 1;
-                        }
+                        self.store.bump_hops(flit.slot);
                     }
                     let li = self.link_index(node, out_dir);
                     debug_assert!(self.links[li].is_none());
@@ -660,9 +662,10 @@ impl<I: PacketInspector> Network<I> {
         self.scratch = worklist;
         for &(up, up_out, vc, _tail) in &credit_returns {
             let r = &mut self.routers[up.0 as usize];
-            r.outputs[up_out.index()].credits[vc] += 1;
+            let s = r.slot(up_out.index(), vc);
+            r.out_credits[s] += 1;
             debug_assert!(
-                r.outputs[up_out.index()].credits[vc] <= r.config().buffer_depth,
+                r.out_credits[s] <= r.config().buffer_depth,
                 "credit overflow"
             );
         }
@@ -686,7 +689,9 @@ impl<I: PacketInspector> Network<I> {
             let dst_node = self.neighbor_tbl[li].expect("link endpoints are mesh neighbours");
             let in_port = Direction::OPPOSITE_INDEX[li % 4];
             let di = dst_node.0 as usize;
-            self.routers[di].push_flit(in_port, ovc, flit, now);
+            let r = &mut self.routers[di];
+            let s = r.slot(in_port, ovc);
+            r.push_flit(s, flit, now);
             self.active.insert(di);
         }
         self.scratch = worklist;
@@ -709,10 +714,7 @@ impl<I: PacketInspector> Network<I> {
             let local = Direction::Local.index();
             let target_vc = if front.kind.is_head() {
                 // A new packet needs an idle local VC.
-                let free = self.routers[ri].inputs[local]
-                    .iter()
-                    .position(|vc| vc.is_empty() && vc.route.is_none());
-                match free {
+                match self.routers[ri].free_injection_vc() {
                     Some(v) => v,
                     None => continue,
                 }
@@ -722,7 +724,8 @@ impl<I: PacketInspector> Network<I> {
                     None => continue,
                 }
             };
-            if !self.routers[ri].inputs[local][target_vc].has_space() {
+            let slot = self.routers[ri].slot(local, target_vc);
+            if !self.routers[ri].vc_has_space(slot) {
                 continue;
             }
             let flit = self.injection_queues[ri]
@@ -737,7 +740,7 @@ impl<I: PacketInspector> Network<I> {
             } else {
                 Some(target_vc)
             };
-            self.routers[ri].push_flit(local, target_vc, flit, now);
+            self.routers[ri].push_flit(slot, flit, now);
             self.active.insert(ri);
         }
         self.scratch = worklist;
@@ -752,20 +755,18 @@ impl<I: PacketInspector> Network<I> {
         self.active.snapshot_into(&mut worklist);
         for &ri in &worklist {
             let ri = ri as usize;
-            let vcs = self.routers[ri].config().vcs;
-            // Ascending slot order == the dense (port, vc) double loop;
-            // empty VCs were skipped by it anyway.
-            for slot in BitsIter(self.routers[ri].occupied_slots()) {
-                let (in_port, vc) = (slot / vcs, slot % vcs);
-                let ivc = &self.routers[ri].inputs[in_port][vc];
-                let Some(route) = ivc.route else { continue };
-                if route == Direction::Local || ivc.out_vc.is_some() {
-                    continue;
-                }
-                let od = route.index();
-                if let Some(free) = self.routers[ri].outputs[od].free_vc() {
-                    self.routers[ri].outputs[od].allocated[free] = true;
-                    self.routers[ri].inputs[in_port][vc].out_vc = Some(free);
+            // Ascending slot order == the dense (port, vc) double loop; the
+            // VA-pending mask names exactly the slots the dense scan's
+            // route/out-VC filters would have acted on.
+            for slot in BitsIter(self.routers[ri].va_pending_slots()) {
+                let st = &self.routers[ri].vc_state[slot];
+                debug_assert!(
+                    st.out_vc.is_none() && st.route.is_some_and(|r| r != Direction::Local),
+                    "VA-pending mask drifted"
+                );
+                let od = st.route.expect("VA-pending slot has a route").index();
+                if let Some(free) = self.routers[ri].free_out_vc(od) {
+                    self.routers[ri].grant_out_vc(slot, free);
                 }
             }
         }
@@ -789,24 +790,23 @@ impl<I: PacketInspector> Network<I> {
             let ri = ri as usize;
             let node = NodeId(ri as u16);
             let vcs = self.routers[ri].config().vcs;
-            // Ascending slot order == the dense (port, vc) double loop; a VC
-            // with no flit has no head to route, so the dense scan skipped
-            // it via the `front` check.
-            for slot in BitsIter(self.routers[ri].occupied_slots()) {
-                let (in_port, vc) = (slot / vcs, slot % vcs);
+            // Ascending slot order == the dense (port, vc) double loop; the
+            // unrouted mask names exactly the occupied slots the dense
+            // scan's route/dropping filters would have reached.
+            for slot in BitsIter(self.routers[ri].unrouted_slots()) {
+                let in_port = slot / vcs;
                 {
-                    let ivc = &mut self.routers[ri].inputs[in_port][vc];
-                    if ivc.route.is_some() || ivc.dropping {
-                        continue;
-                    }
-                    let needs_inspection = !ivc.inspected;
-                    let Some(front) = ivc.front_mut() else {
+                    let st = &self.routers[ri].vc_state[slot];
+                    debug_assert!(st.route.is_none() && !st.dropping, "unrouted mask drifted");
+                    let needs_inspection = !st.inspected;
+                    let Some(front) = self.routers[ri].vc_front_mut(slot) else {
                         continue;
                     };
                     if !front.kind.is_head() {
                         continue;
                     }
                     let packet_id = front.packet_id;
+                    let meta_slot = front.slot;
                     let packet = front.packet.as_mut().expect("head flit carries packet");
                     if needs_inspection {
                         let payload_before = packet.payload();
@@ -814,14 +814,12 @@ impl<I: PacketInspector> Network<I> {
                         if outcome.dropped {
                             // The whole packet will be sunk here; no route is
                             // ever computed for it.
-                            self.routers[ri].mark_dropping(in_port, vc);
-                            self.routers[ri].inputs[in_port][vc].inspected = true;
+                            self.routers[ri].mark_dropping(slot);
+                            self.routers[ri].vc_state[slot].inspected = true;
                             continue;
                         }
                         if outcome.modified {
-                            if let Some(meta) = self.in_flight.get_mut(&packet_id) {
-                                meta.modified = true;
-                            }
+                            self.store.set_modified(meta_slot);
                             if let Some(trace) = self.trace.as_mut() {
                                 trace.record(TraceEvent::Tampered {
                                     packet: packet_id,
@@ -839,16 +837,14 @@ impl<I: PacketInspector> Network<I> {
                             _ => FaultAction::none(),
                         };
                         if action.drop {
-                            self.routers[ri].mark_dropping(in_port, vc);
-                            self.routers[ri].inputs[in_port][vc].inspected = true;
+                            self.routers[ri].mark_dropping(slot);
+                            self.routers[ri].vc_state[slot].inspected = true;
                             continue;
                         }
                         if action.flip_mask != 0 {
                             let before = packet.payload();
                             packet.set_payload(before ^ action.flip_mask);
-                            if let Some(meta) = self.in_flight.get_mut(&packet_id) {
-                                meta.modified = true;
-                            }
+                            self.store.set_modified(meta_slot);
                             if let Some(trace) = self.trace.as_mut() {
                                 trace.record(TraceEvent::Tampered {
                                     packet: packet_id,
@@ -882,9 +878,8 @@ impl<I: PacketInspector> Network<I> {
                             .max_by_key(|d| self.routers[ri].output_credits(**d))
                             .expect("nonempty candidates")
                     };
-                    let ivc = &mut self.routers[ri].inputs[in_port][vc];
-                    ivc.route = Some(chosen);
-                    ivc.inspected = true;
+                    self.routers[ri].set_route(slot, chosen);
+                    self.routers[ri].vc_state[slot].inspected = true;
                     self.routers[ri].packets_routed += 1;
                 }
             }
@@ -896,22 +891,15 @@ impl<I: PacketInspector> Network<I> {
         self.stats.on_flit_delivered();
         if flit.kind.is_head() {
             let packet = flit.packet.expect("head flit carries packet");
-            self.pending_heads.insert(flit.packet_id, packet);
+            self.store.set_pending_head(flit.slot, packet);
         }
         if flit.kind.is_tail() {
-            let packet = self
-                .pending_heads
-                .remove(&flit.packet_id)
-                .expect("tail after head");
-            let meta = self
-                .in_flight
-                .remove(&flit.packet_id)
-                .expect("meta tracked from injection");
-            let latency = self.cycle - meta.injected_at;
+            let (packet, injected_at, hops, modified) = self.store.finish(flit.slot);
+            let latency = self.cycle - injected_at;
             self.stats.on_packet_delivered(
                 latency,
-                meta.hops as u64,
-                meta.modified,
+                u64::from(hops),
+                modified,
                 matches!(packet.kind(), PacketKind::PowerReq),
             );
             if let Some(trace) = self.trace.as_mut() {
@@ -924,8 +912,8 @@ impl<I: PacketInspector> Network<I> {
             self.ejected.push(DeliveredPacket {
                 packet,
                 latency,
-                hops: meta.hops,
-                modified: meta.modified,
+                hops,
+                modified,
             });
         }
     }
@@ -936,7 +924,7 @@ impl<I: PacketInspector + std::fmt::Debug> std::fmt::Debug for Network<I> {
         f.debug_struct("Network")
             .field("mesh", &self.mesh)
             .field("cycle", &self.cycle)
-            .field("in_flight", &self.in_flight.len())
+            .field("in_flight", &self.store.live())
             .field("inspector", &self.inspector)
             .finish_non_exhaustive()
     }

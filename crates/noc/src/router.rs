@@ -1,6 +1,6 @@
-use crate::flit::Flit;
+use crate::flit::{Flit, FlitKind};
 use crate::topology::{Direction, NodeId};
-use crate::vc::{OutputPort, VirtualChannel};
+use crate::vc::VcState;
 
 /// Microarchitectural parameters of a router.
 ///
@@ -56,14 +56,33 @@ pub struct VcSnapshot {
 /// (buffer write → routing computation → VC/switch allocation → switch
 /// traversal) is driven by [`crate::Network::step`], which models a
 /// two-cycle router and one-cycle links (Table I).
+///
+/// # Data layout
+///
+/// All per-VC state is flattened into contiguous arrays indexed by the slot
+/// number `port * vcs + vc` (ports in N/S/E/W/Local index order): control
+/// state in [`Router::vc_state`], the flit buffers in one flat slab where
+/// slot `s` owns the fixed-capacity ring `buf[s * depth .. (s + 1) * depth]`,
+/// and output-side credit/allocation state in two parallel arrays. Ascending
+/// slot order equals the nested `(port, vc)` loops the pipeline historically
+/// ran, so iteration order — and with it RR arbitration, ejection and trace
+/// order — is bit-for-bit unchanged.
 #[derive(Debug, Clone)]
 pub struct Router {
     id: NodeId,
     config: RouterConfig,
-    /// `inputs[dir][vc]` — input-side virtual channels.
-    pub(crate) inputs: Vec<Vec<VirtualChannel>>,
-    /// `outputs[dir]` — credit/allocation state for the downstream port.
-    pub(crate) outputs: Vec<OutputPort>,
+    /// Control state per input-VC slot (`port * vcs + vc`); 5 × `vcs` long.
+    pub(crate) vc_state: Vec<VcState>,
+    /// Flat flit storage: slot `s` owns `buf[s * depth .. (s + 1) * depth]`
+    /// as a ring whose front sits at `vc_state[s].head`. Entries are
+    /// `(flit, arrival_cycle)`.
+    buf: Vec<(Flit, u64)>,
+    /// Flit credits per downstream VC, indexed `out_port * vcs + vc`
+    /// (starts at the buffer depth).
+    pub(crate) out_credits: Vec<usize>,
+    /// Whether each downstream VC is currently allocated to some packet,
+    /// indexed `out_port * vcs + vc`.
+    pub(crate) out_allocated: Vec<bool>,
     /// Round-robin pointers for switch allocation, one per output port.
     pub(crate) sa_rr: Vec<usize>,
     /// Flits this router pushed through its crossbar (all output ports).
@@ -86,6 +105,21 @@ pub struct Router {
     /// scanning all 5 × `vcs` buffers; empty VCs can never be granted,
     /// routed or allocated, so skipping them is invisible.
     occupied: u64,
+    /// Per-output-direction switch requests: bit `s` is set iff
+    /// `vc_state[s].route == Some(dir)`. Set by [`Router::set_route`],
+    /// cleared when the packet's tail leaves in [`Router::pop_flit`]. Switch
+    /// allocation arbitrates over `occupied & route_req[dir]` instead of
+    /// re-reading every occupied slot's route five times per router.
+    route_req: [u64; 5],
+    /// Slots whose packet has a non-local route but no downstream VC yet —
+    /// exactly the candidates VC allocation must consider. Set by
+    /// [`Router::set_route`], cleared by [`Router::grant_out_vc`] and the
+    /// tail pop.
+    va_pending: u64,
+    /// Slots whose resident packet is past routing computation (route
+    /// chosen, or being sunk by a drop order). Routing computation scans
+    /// `occupied & !pipeline_done` — only freshly arrived heads.
+    pipeline_done: u64,
 }
 
 impl Router {
@@ -102,25 +136,37 @@ impl Router {
             "at most 12 VCs per port supported (got {})",
             config.vcs
         );
+        let slots = 5 * config.vcs;
+        // Placeholder entries fill the slab so the ring indices are always
+        // in bounds without unsafe; a slot's live region is exactly
+        // `head .. head + len` (mod depth).
+        let placeholder = (
+            Flit {
+                kind: FlitKind::Body,
+                packet_id: 0,
+                dst: NodeId(0),
+                packet: None,
+                injected_at: 0,
+                slot: Flit::NO_SLOT,
+            },
+            0u64,
+        );
         Router {
             id,
             config,
-            inputs: (0..5)
-                .map(|_| {
-                    (0..config.vcs)
-                        .map(|_| VirtualChannel::new(config.buffer_depth))
-                        .collect()
-                })
-                .collect(),
-            outputs: (0..5)
-                .map(|_| OutputPort::new(config.vcs, config.buffer_depth))
-                .collect(),
+            vc_state: (0..slots).map(|_| VcState::new()).collect(),
+            buf: vec![placeholder; slots * config.buffer_depth],
+            out_credits: vec![config.buffer_depth; slots],
+            out_allocated: vec![false; slots],
             sa_rr: vec![0; 5],
             flits_forwarded: 0,
             packets_routed: 0,
             buffered: 0,
             dropping_vcs: 0,
             occupied: 0,
+            route_req: [0; 5],
+            va_pending: 0,
+            pipeline_done: 0,
         }
     }
 
@@ -136,10 +182,65 @@ impl Router {
         &self.config
     }
 
+    /// Flat index of input-VC (or output-VC) `vc` of `port`.
+    #[inline]
+    pub(crate) fn slot(&self, port: usize, vc: usize) -> usize {
+        port * self.config.vcs + vc
+    }
+
     /// Whether an input VC has room for one more flit.
     #[must_use]
     pub fn can_accept(&self, dir: Direction, vc: usize) -> bool {
-        self.inputs[dir.index()][vc].has_space()
+        self.vc_has_space(self.slot(dir.index(), vc))
+    }
+
+    /// Whether input-VC slot `s` has room for one more flit.
+    #[inline]
+    pub(crate) fn vc_has_space(&self, s: usize) -> bool {
+        (self.vc_state[s].len as usize) < self.config.buffer_depth
+    }
+
+    /// Buffered flit count of input-VC slot `s`. Only the debug-build
+    /// invariant auditor reads it; release builds compile it out.
+    #[inline]
+    #[cfg_attr(not(debug_assertions), allow(dead_code))]
+    pub(crate) fn vc_len(&self, s: usize) -> usize {
+        self.vc_state[s].len as usize
+    }
+
+    /// The flit at the front of input-VC slot `s`, if any.
+    #[inline]
+    pub(crate) fn vc_front(&self, s: usize) -> Option<&Flit> {
+        let st = &self.vc_state[s];
+        if st.len == 0 {
+            return None;
+        }
+        let depth = self.config.buffer_depth;
+        Some(&self.buf[s * depth + st.head as usize].0)
+    }
+
+    /// Mutable front flit of input-VC slot `s` (the inspection hook
+    /// rewrites packet headers in place).
+    #[inline]
+    pub(crate) fn vc_front_mut(&mut self, s: usize) -> Option<&mut Flit> {
+        let st = &self.vc_state[s];
+        if st.len == 0 {
+            return None;
+        }
+        let depth = self.config.buffer_depth;
+        Some(&mut self.buf[s * depth + st.head as usize].0)
+    }
+
+    /// Cycle at which the front flit of input-VC slot `s` entered its
+    /// buffer.
+    #[inline]
+    pub(crate) fn vc_front_arrived_at(&self, s: usize) -> Option<u64> {
+        let st = &self.vc_state[s];
+        if st.len == 0 {
+            return None;
+        }
+        let depth = self.config.buffer_depth;
+        Some(self.buf[s * depth + st.head as usize].1)
     }
 
     /// Total buffered flits across all input VCs (used by congestion-aware
@@ -152,10 +253,9 @@ impl Router {
     pub fn buffered_flits(&self) -> usize {
         debug_assert_eq!(
             self.buffered,
-            self.inputs
+            self.vc_state
                 .iter()
-                .flat_map(|port| port.iter())
-                .map(|vc| vc.len())
+                .map(|st| st.len as usize)
                 .sum::<usize>(),
             "incremental flit counter drifted from buffer contents"
         );
@@ -168,31 +268,53 @@ impl Router {
         self.buffered_flits() == 0
     }
 
-    /// Pushes an arriving flit into `inputs[dir][vc]`, keeping the
+    /// Pushes an arriving flit into input-VC slot `s`, keeping the
     /// incremental flit counter in sync. All buffer writes must go through
     /// here (or the counter drifts).
     #[inline]
-    pub(crate) fn push_flit(&mut self, dir: usize, vc: usize, flit: Flit, now: u64) {
-        self.inputs[dir][vc].push(flit, now);
+    pub(crate) fn push_flit(&mut self, s: usize, flit: Flit, now: u64) {
+        let depth = self.config.buffer_depth;
+        let st = &mut self.vc_state[s];
+        debug_assert!(
+            (st.len as usize) < depth,
+            "credit protocol violated: VC overrun"
+        );
+        let idx = s * depth + (st.head as usize + st.len as usize) % depth;
+        st.len += 1;
+        self.buf[idx] = (flit, now);
         self.buffered += 1;
-        self.occupied |= 1 << (dir * self.config.vcs + vc);
+        self.occupied |= 1 << s;
     }
 
-    /// Pops the head flit of `inputs[dir][vc]`, keeping the incremental
-    /// flit and dropping-VC counters in sync (a tail pop clears the VC's
-    /// dropping flag inside [`VirtualChannel::pop`]).
+    /// Pops the head flit of input-VC slot `s`, keeping the incremental
+    /// flit and dropping-VC counters in sync. A tail pop clears the VC's
+    /// per-packet pipeline state (route, out VC, inspected, dropping).
     #[inline]
-    pub(crate) fn pop_flit(&mut self, dir: usize, vc: usize) -> Option<Flit> {
-        let channel = &mut self.inputs[dir][vc];
-        let was_dropping = channel.dropping;
-        let flit = channel.pop()?;
+    pub(crate) fn pop_flit(&mut self, s: usize) -> Option<Flit> {
+        let depth = self.config.buffer_depth;
+        let st = &mut self.vc_state[s];
+        if st.len == 0 {
+            return None;
+        }
+        let (flit, _) = self.buf[s * depth + st.head as usize];
+        st.head = (st.head + 1) % depth as u32;
+        st.len -= 1;
+        if st.len == 0 {
+            self.occupied &= !(1 << s);
+        }
+        if flit.kind.is_tail() {
+            let was_dropping = st.dropping;
+            if let Some(dir) = st.route {
+                self.route_req[dir.index()] &= !(1 << s);
+            }
+            self.va_pending &= !(1 << s);
+            self.pipeline_done &= !(1 << s);
+            st.clear_packet_state();
+            if was_dropping {
+                self.dropping_vcs -= 1;
+            }
+        }
         self.buffered -= 1;
-        if channel.is_empty() {
-            self.occupied &= !(1 << (dir * self.config.vcs + vc));
-        }
-        if was_dropping && !channel.dropping {
-            self.dropping_vcs -= 1;
-        }
         Some(flit)
     }
 
@@ -203,11 +325,9 @@ impl Router {
         #[cfg(debug_assertions)]
         {
             let mut rescan = 0u64;
-            for (port, vcs) in self.inputs.iter().enumerate() {
-                for (vc, ch) in vcs.iter().enumerate() {
-                    if !ch.is_empty() {
-                        rescan |= 1 << (port * self.config.vcs + vc);
-                    }
+            for (s, st) in self.vc_state.iter().enumerate() {
+                if st.len > 0 {
+                    rescan |= 1 << s;
                 }
             }
             debug_assert_eq!(self.occupied, rescan, "occupancy mask drifted");
@@ -215,14 +335,88 @@ impl Router {
         self.occupied
     }
 
-    /// Marks `inputs[dir][vc]` as sinking a dropped packet. Idempotent.
+    /// Marks input-VC slot `s` as sinking a dropped packet. Idempotent.
     #[inline]
-    pub(crate) fn mark_dropping(&mut self, dir: usize, vc: usize) {
-        let channel = &mut self.inputs[dir][vc];
-        if !channel.dropping {
-            channel.dropping = true;
+    pub(crate) fn mark_dropping(&mut self, s: usize) {
+        let st = &mut self.vc_state[s];
+        if !st.dropping {
+            st.dropping = true;
             self.dropping_vcs += 1;
         }
+        self.pipeline_done |= 1 << s;
+    }
+
+    /// Records routing computation's decision for the packet in slot `s`,
+    /// keeping the switch-request / VC-allocation masks in sync. All route
+    /// assignments must go through here (or the masks drift).
+    #[inline]
+    pub(crate) fn set_route(&mut self, s: usize, dir: Direction) {
+        self.vc_state[s].route = Some(dir);
+        let bit = 1u64 << s;
+        self.route_req[dir.index()] |= bit;
+        self.pipeline_done |= bit;
+        if dir != Direction::Local {
+            self.va_pending |= bit;
+        }
+    }
+
+    /// Records VC allocation's grant of downstream VC `out_vc` to the packet
+    /// in slot `s`, marking the downstream VC allocated and retiring the
+    /// slot from the VA-pending mask.
+    #[inline]
+    pub(crate) fn grant_out_vc(&mut self, s: usize, out_vc: usize) {
+        let od = self.vc_state[s]
+            .route
+            .expect("VA grant requires a computed route")
+            .index();
+        self.out_allocated[od * self.config.vcs + out_vc] = true;
+        self.vc_state[s].out_vc = Some(out_vc);
+        self.va_pending &= !(1u64 << s);
+    }
+
+    /// Occupied slots requesting output port `od` — switch allocation's
+    /// candidate set for that port.
+    #[inline]
+    pub(crate) fn switch_requests(&self, od: usize) -> u64 {
+        self.occupied_slots() & self.route_req[od]
+    }
+
+    /// Occupied slots with a non-local route still awaiting a downstream
+    /// VC — VC allocation's candidate set.
+    #[inline]
+    pub(crate) fn va_pending_slots(&self) -> u64 {
+        self.occupied_slots() & self.va_pending
+    }
+
+    /// Occupied slots whose front packet still needs routing computation
+    /// (no route yet, not being sunk).
+    #[inline]
+    pub(crate) fn unrouted_slots(&self) -> u64 {
+        self.occupied_slots() & !self.pipeline_done
+    }
+
+    /// Rebuilds the pipeline-stage masks from `vc_state` and asserts they
+    /// match the incrementally maintained ones (debug-build audit).
+    #[cfg(debug_assertions)]
+    pub(crate) fn debug_masks_consistent(&self) {
+        let mut req = [0u64; 5];
+        let mut va = 0u64;
+        let mut done = 0u64;
+        for (s, st) in self.vc_state.iter().enumerate() {
+            if let Some(dir) = st.route {
+                req[dir.index()] |= 1 << s;
+                done |= 1 << s;
+                if dir != Direction::Local && st.out_vc.is_none() {
+                    va |= 1 << s;
+                }
+            }
+            if st.dropping {
+                done |= 1 << s;
+            }
+        }
+        assert_eq!(self.route_req, req, "switch-request masks drifted");
+        assert_eq!(self.va_pending, va, "VA-pending mask drifted");
+        assert_eq!(self.pipeline_done, done, "pipeline-done mask drifted");
     }
 
     /// Whether any input VC is currently sinking a dropped packet. Gates
@@ -232,11 +426,31 @@ impl Router {
         self.dropping_vcs > 0
     }
 
+    /// Lowest-index idle local-input VC (empty, with no residual route) —
+    /// the injection stage's VC selection for a new packet's head flit.
+    #[inline]
+    pub(crate) fn free_injection_vc(&self) -> Option<usize> {
+        let base = Direction::Local.index() * self.config.vcs;
+        (0..self.config.vcs).find(|&v| {
+            let st = &self.vc_state[base + v];
+            st.len == 0 && st.route.is_none()
+        })
+    }
+
+    /// Finds a free downstream VC on output port `od`, preferring lower
+    /// indices.
+    #[inline]
+    pub(crate) fn free_out_vc(&self, od: usize) -> Option<usize> {
+        let base = od * self.config.vcs;
+        (0..self.config.vcs).find(|&v| !self.out_allocated[base + v])
+    }
+
     /// Free credit count on an output port, summed over VCs. Adaptive
     /// routing uses this as its congestion estimate.
     #[must_use]
     pub(crate) fn output_credits(&self, dir: Direction) -> usize {
-        self.outputs[dir.index()].credits.iter().sum()
+        let base = dir.index() * self.config.vcs;
+        self.out_credits[base..base + self.config.vcs].iter().sum()
     }
 
     /// Snapshot of one input VC's observable state (diagnostics; see
@@ -247,29 +461,31 @@ impl Router {
     /// Panics if `in_port >= 5` or `vc >= config.vcs`.
     #[must_use]
     pub fn vc_snapshot(&self, in_port: usize, vc: usize) -> VcSnapshot {
-        let ch = &self.inputs[in_port][vc];
+        assert!(in_port < 5 && vc < self.config.vcs);
+        let s = self.slot(in_port, vc);
+        let st = &self.vc_state[s];
         VcSnapshot {
-            occupancy: ch.len(),
-            front_packet: ch.front().map(|f| f.packet_id),
-            front_arrived_at: ch.front_arrived_at(),
-            route: ch.route,
-            out_vc: ch.out_vc,
-            inspected: ch.inspected,
-            dropping: ch.dropping,
+            occupancy: st.len as usize,
+            front_packet: self.vc_front(s).map(|f| f.packet_id),
+            front_arrived_at: self.vc_front_arrived_at(s),
+            route: st.route,
+            out_vc: st.out_vc,
+            inspected: st.inspected,
+            dropping: st.dropping,
         }
     }
 
     /// Free credits this router holds for one downstream VC (diagnostics).
     #[must_use]
     pub fn output_credit(&self, dir: Direction, vc: usize) -> usize {
-        self.outputs[dir.index()].credits[vc]
+        self.out_credits[self.slot(dir.index(), vc)]
     }
 
     /// Whether a downstream VC is currently allocated to a packet
     /// (diagnostics).
     #[must_use]
     pub fn output_allocated(&self, dir: Direction, vc: usize) -> bool {
-        self.outputs[dir.index()].allocated[vc]
+        self.out_allocated[self.slot(dir.index(), vc)]
     }
 
     /// Flits this router has pushed through its crossbar so far — a
@@ -291,44 +507,123 @@ mod tests {
     use super::*;
     use crate::packet::{Packet, PacketKind};
 
+    fn data_flits() -> Vec<Flit> {
+        Flit::packetize(Packet::new(NodeId(0), NodeId(1), PacketKind::Data, 7), 1, 0)
+    }
+
     #[test]
     fn flit_counter_tracks_push_and_pop() {
         let mut r = Router::new(NodeId(0), RouterConfig::default());
-        let flits = Flit::packetize(Packet::new(NodeId(0), NodeId(1), PacketKind::Data, 7), 1, 0);
+        let s = r.slot(Direction::North.index(), 2);
+        let flits = data_flits();
         let n = flits.len();
         for (i, f) in flits.into_iter().enumerate() {
-            r.push_flit(Direction::North.index(), 2, f, i as u64);
+            r.push_flit(s, f, i as u64);
             assert_eq!(r.buffered_flits(), i + 1);
         }
         assert!(!r.is_idle());
         for i in (0..n).rev() {
-            assert!(r.pop_flit(Direction::North.index(), 2).is_some());
+            assert!(r.pop_flit(s).is_some());
             assert_eq!(r.buffered_flits(), i);
         }
         assert!(r.is_idle());
-        assert!(r.pop_flit(Direction::North.index(), 2).is_none());
+        assert!(r.pop_flit(s).is_none());
         assert_eq!(r.buffered_flits(), 0);
+    }
+
+    #[test]
+    fn ring_preserves_fifo_order_and_arrival_stamps() {
+        let mut r = Router::new(NodeId(0), RouterConfig::default());
+        let s = r.slot(Direction::East.index(), 1);
+        // Fill, drain two, refill: the ring wraps across the slice edge.
+        for (i, f) in data_flits().into_iter().enumerate() {
+            assert!(r.vc_has_space(s));
+            r.push_flit(s, f, 10 + i as u64);
+        }
+        assert!(!r.vc_has_space(s));
+        assert_eq!(r.vc_front_arrived_at(s), Some(10));
+        assert_eq!(r.vc_front(s).map(|f| f.kind), Some(FlitKind::Head));
+        assert!(r.pop_flit(s).is_some());
+        assert_eq!(r.vc_front_arrived_at(s), Some(11));
+        assert!(r.pop_flit(s).is_some());
+        let refill = data_flits();
+        r.push_flit(s, refill[0], 20);
+        r.push_flit(s, refill[1], 21);
+        let kinds: Vec<FlitKind> = std::iter::from_fn(|| r.pop_flit(s))
+            .map(|f| f.kind)
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![
+                FlitKind::Body,
+                FlitKind::Body,
+                FlitKind::Tail,
+                FlitKind::Head,
+                FlitKind::Body
+            ]
+        );
+    }
+
+    #[test]
+    fn tail_pop_clears_route_state() {
+        let mut r = Router::new(NodeId(0), RouterConfig::default());
+        let s = r.slot(Direction::North.index(), 0);
+        for f in data_flits() {
+            r.push_flit(s, f, 0);
+        }
+        r.vc_state[s].route = Some(Direction::East);
+        r.vc_state[s].out_vc = Some(2);
+        r.vc_state[s].inspected = true;
+        for _ in 0..4 {
+            r.pop_flit(s);
+            assert_eq!(r.vc_state[s].route, Some(Direction::East));
+        }
+        let tail = r.pop_flit(s).unwrap();
+        assert_eq!(tail.kind, FlitKind::Tail);
+        assert_eq!(r.vc_state[s].route, None);
+        assert_eq!(r.vc_state[s].out_vc, None);
+        assert!(!r.vc_state[s].inspected);
     }
 
     #[test]
     fn dropping_counter_clears_on_tail_pop() {
         let mut r = Router::new(NodeId(0), RouterConfig::default());
-        let flits = Flit::packetize(Packet::new(NodeId(0), NodeId(1), PacketKind::Data, 7), 1, 0);
+        let s = r.slot(Direction::East.index(), 0);
+        let flits = data_flits();
         let n = flits.len();
         for f in flits {
-            r.push_flit(Direction::East.index(), 0, f, 0);
+            r.push_flit(s, f, 0);
         }
         assert!(!r.has_dropping());
-        r.mark_dropping(Direction::East.index(), 0);
-        r.mark_dropping(Direction::East.index(), 0); // idempotent
+        r.mark_dropping(s);
+        r.mark_dropping(s); // idempotent
         assert!(r.has_dropping());
         for _ in 0..n - 1 {
-            r.pop_flit(Direction::East.index(), 0);
+            r.pop_flit(s);
             assert!(r.has_dropping());
         }
-        r.pop_flit(Direction::East.index(), 0); // tail clears the flag
+        r.pop_flit(s); // tail clears the flag
         assert!(!r.has_dropping());
         assert!(r.is_idle());
+    }
+
+    #[test]
+    fn output_port_free_vc_prefers_lowest() {
+        let mut r = Router::new(NodeId(0), RouterConfig::default());
+        let od = Direction::South.index();
+        assert_eq!(r.free_out_vc(od), Some(0));
+        for vc in [0, 1] {
+            let s = r.slot(od, vc);
+            r.out_allocated[s] = true;
+        }
+        assert_eq!(r.free_out_vc(od), Some(2));
+        for vc in 0..4 {
+            let s = r.slot(od, vc);
+            r.out_allocated[s] = true;
+        }
+        assert_eq!(r.free_out_vc(od), None);
+        // Other ports are unaffected by this port's allocations.
+        assert_eq!(r.free_out_vc(Direction::North.index()), Some(0));
     }
 
     #[test]

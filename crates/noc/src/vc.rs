@@ -1,18 +1,14 @@
-use std::collections::VecDeque;
-
-use crate::flit::Flit;
 use crate::topology::Direction;
 
-/// Per-virtual-channel input state of a router port.
+/// Control state of one input virtual channel.
 ///
-/// Table I configures 4 virtual channels per port with 5-flit buffers.
+/// Table I configures 4 virtual channels per port with 5-flit buffers. The
+/// buffered flits themselves live in the router's single flat ring-buffer
+/// array ([`crate::Router`] owns one contiguous slab for all 5 × VCs
+/// buffers); this struct holds the per-VC pipeline decisions plus the ring
+/// cursor into that slab.
 #[derive(Debug, Clone)]
-pub(crate) struct VirtualChannel {
-    /// Buffered flits, each stamped with the cycle it entered this buffer;
-    /// a flit may not traverse the switch in its arrival cycle, which gives
-    /// every flit at least one full cycle inside the router.
-    buffer: VecDeque<(Flit, u64)>,
-    capacity: usize,
+pub(crate) struct VcState {
     /// Output port chosen by routing computation for the packet currently
     /// occupying this VC (`None` until RC runs on the head flit).
     pub route: Option<Direction>,
@@ -24,152 +20,56 @@ pub(crate) struct VirtualChannel {
     /// Set when an inspector ordered the current packet dropped: arriving
     /// and buffered flits are sunk instead of forwarded, until the tail.
     pub dropping: bool,
+    /// Ring offset (within this VC's fixed-capacity slice of the router's
+    /// flit slab) of the front flit.
+    pub head: u32,
+    /// Buffered flit count.
+    pub len: u32,
 }
 
-impl VirtualChannel {
-    pub(crate) fn new(capacity: usize) -> Self {
-        VirtualChannel {
-            buffer: VecDeque::with_capacity(capacity),
-            capacity,
+impl VcState {
+    pub(crate) fn new() -> Self {
+        VcState {
             route: None,
             out_vc: None,
             inspected: false,
             dropping: false,
+            head: 0,
+            len: 0,
         }
     }
 
-    pub(crate) fn is_empty(&self) -> bool {
-        self.buffer.is_empty()
-    }
-
-    pub(crate) fn len(&self) -> usize {
-        self.buffer.len()
-    }
-
-    pub(crate) fn has_space(&self) -> bool {
-        self.buffer.len() < self.capacity
-    }
-
-    /// Cycle at which the front flit entered this buffer.
-    pub(crate) fn front_arrived_at(&self) -> Option<u64> {
-        self.buffer.front().map(|(_, at)| *at)
-    }
-
-    /// The flit at the head of the buffer, if any.
-    pub(crate) fn front(&self) -> Option<&Flit> {
-        self.buffer.front().map(|(f, _)| f)
-    }
-
-    pub(crate) fn front_mut(&mut self) -> Option<&mut Flit> {
-        self.buffer.front_mut().map(|(f, _)| f)
-    }
-
-    /// Pushes an arriving flit. Callers must check [`Self::has_space`]; the
-    /// credit protocol guarantees upstream never overruns the buffer.
-    pub(crate) fn push(&mut self, flit: Flit, now: u64) {
-        debug_assert!(self.has_space(), "credit protocol violated: VC overrun");
-        self.buffer.push_back((flit, now));
-    }
-
-    /// Pops the flit at the head of the buffer. When the popped flit is the
-    /// packet's tail, the VC's routing state is cleared so the next packet
-    /// re-runs RC/VA.
-    pub(crate) fn pop(&mut self) -> Option<Flit> {
-        let (flit, _) = self.buffer.pop_front()?;
-        if flit.kind.is_tail() {
-            self.route = None;
-            self.out_vc = None;
-            self.inspected = false;
-            self.dropping = false;
-        }
-        Some(flit)
-    }
-}
-
-/// Credit and allocation state a router keeps for one downstream input port.
-#[derive(Debug, Clone)]
-pub(crate) struct OutputPort {
-    /// Flit credits per downstream VC (starts at the buffer depth).
-    pub credits: Vec<usize>,
-    /// Whether each downstream VC is currently allocated to some packet.
-    pub allocated: Vec<bool>,
-}
-
-impl OutputPort {
-    pub(crate) fn new(vcs: usize, buffer_depth: usize) -> Self {
-        OutputPort {
-            credits: vec![buffer_depth; vcs],
-            allocated: vec![false; vcs],
-        }
-    }
-
-    /// Finds a free downstream VC, preferring lower indices.
-    pub(crate) fn free_vc(&self) -> Option<usize> {
-        self.allocated.iter().position(|a| !a)
+    /// Clears the per-packet pipeline decisions; called when the packet's
+    /// tail flit leaves the buffer so the next resident packet re-runs
+    /// inspection, RC and VA. The ring cursor is deliberately left where it
+    /// is — the buffer keeps rotating.
+    pub(crate) fn clear_packet_state(&mut self) {
+        self.route = None;
+        self.out_vc = None;
+        self.inspected = false;
+        self.dropping = false;
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::flit::FlitKind;
-    use crate::packet::{Packet, PacketKind};
-    use crate::topology::NodeId;
-
-    fn data_flits() -> Vec<Flit> {
-        Flit::packetize(Packet::new(NodeId(0), NodeId(1), PacketKind::Data, 0), 1, 0)
-    }
 
     #[test]
-    fn vc_capacity_respected() {
-        let mut vc = VirtualChannel::new(5);
-        for f in data_flits() {
-            assert!(vc.has_space());
-            vc.push(f, 0);
-        }
-        assert!(!vc.has_space());
-        assert_eq!(vc.len(), 5);
-    }
-
-    #[test]
-    fn front_arrival_stamp_preserved() {
-        let mut vc = VirtualChannel::new(5);
-        for (i, f) in data_flits().into_iter().enumerate() {
-            vc.push(f, 10 + i as u64);
-        }
-        assert_eq!(vc.front_arrived_at(), Some(10));
-        vc.pop();
-        assert_eq!(vc.front_arrived_at(), Some(11));
-    }
-
-    #[test]
-    fn tail_pop_clears_route_state() {
-        let mut vc = VirtualChannel::new(5);
-        for f in data_flits() {
-            vc.push(f, 0);
-        }
-        vc.route = Some(Direction::East);
-        vc.out_vc = Some(2);
-        vc.inspected = true;
-        for _ in 0..4 {
-            vc.pop();
-            assert_eq!(vc.route, Some(Direction::East));
-        }
-        let tail = vc.pop().unwrap();
-        assert_eq!(tail.kind, FlitKind::Tail);
-        assert_eq!(vc.route, None);
-        assert_eq!(vc.out_vc, None);
-        assert!(!vc.inspected);
-    }
-
-    #[test]
-    fn output_port_free_vc() {
-        let mut port = OutputPort::new(4, 5);
-        assert_eq!(port.free_vc(), Some(0));
-        port.allocated[0] = true;
-        port.allocated[1] = true;
-        assert_eq!(port.free_vc(), Some(2));
-        port.allocated = vec![true; 4];
-        assert_eq!(port.free_vc(), None);
+    fn clear_resets_decisions_but_not_cursor() {
+        let mut st = VcState::new();
+        st.route = Some(Direction::East);
+        st.out_vc = Some(2);
+        st.inspected = true;
+        st.dropping = true;
+        st.head = 3;
+        st.len = 1;
+        st.clear_packet_state();
+        assert_eq!(st.route, None);
+        assert_eq!(st.out_vc, None);
+        assert!(!st.inspected);
+        assert!(!st.dropping);
+        assert_eq!(st.head, 3, "ring cursor must survive packet turnover");
+        assert_eq!(st.len, 1);
     }
 }

@@ -6,7 +6,7 @@ use proptest::prelude::*;
 
 use htpb_noc::{
     InspectOutcome, Mesh2d, Network, NetworkConfig, NodeId, Packet, PacketInspector, PacketKind,
-    RawPacket, RoutingKind,
+    PacketStore, RawPacket, RoutingKind,
 };
 
 /// Drops every packet whose id hash lands under the threshold, at one node.
@@ -147,6 +147,43 @@ proptest! {
             let re = p.encode();
             prop_assert_eq!(re.words[0], words[0]);
             prop_assert_eq!(re.words[2], words[2]);
+        }
+    }
+
+    /// [`PacketStore`] recycling never aliases a live packet: under an
+    /// arbitrary interleaving of allocations and frees, `alloc` never hands
+    /// out a slot that a live packet still occupies, and every live slot
+    /// keeps the packet id it was allocated with.
+    #[test]
+    fn packet_store_recycling_never_aliases_live_packets(
+        ops in proptest::collection::vec((any::<bool>(), any::<u32>()), 1..256),
+    ) {
+        let mut store = PacketStore::new();
+        let mut live: Vec<(u32, u64)> = Vec::new();
+        let mut next_id = 0u64;
+        for (do_free, pick) in ops {
+            if do_free && !live.is_empty() {
+                let idx = pick as usize % live.len();
+                let (slot, id) = live.swap_remove(idx);
+                prop_assert_eq!(store.packet_id(slot), id);
+                store.free(slot);
+                prop_assert!(!store.is_live(slot));
+            } else {
+                let id = next_id;
+                next_id += 1;
+                let slot = store.alloc(id, id);
+                prop_assert!(
+                    live.iter().all(|&(s, _)| s != slot),
+                    "alloc returned slot {} which is still live", slot
+                );
+                prop_assert!(store.is_live(slot));
+                live.push((slot, id));
+            }
+        }
+        prop_assert_eq!(store.live(), live.len());
+        for &(slot, id) in &live {
+            prop_assert_eq!(store.packet_id(slot), id);
+            prop_assert_eq!(store.injected_at(slot), id);
         }
     }
 
