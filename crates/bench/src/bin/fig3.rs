@@ -16,9 +16,7 @@ use std::process::ExitCode;
 
 use htpb_bench::{banner, timed_stage};
 use htpb_core::{fig3_label, ManagerLocation, Series};
-use htpb_harness::{
-    cache_for, ensure_outdir, run_jobs, HarnessArgs, JobOutput, JobSpec, Journal, RunOptions,
-};
+use htpb_harness::{cache_for, std_fs, Campaign, HarnessArgs, JobOutput, JobSpec, RunOptions};
 
 fn counts_for(nodes: u32) -> Vec<usize> {
     // Paper: 0..30 HTs for 64 nodes, 0..60 for 512.
@@ -43,17 +41,6 @@ fn main() -> ExitCode {
         "infection rate vs. #HTs, manager at center vs. corner",
     );
     let outdir = Path::new("results");
-    if let Err(e) = ensure_outdir(outdir) {
-        eprintln!("fig3: {e}");
-        return ExitCode::FAILURE;
-    }
-    let journal = match Journal::open(&outdir.join("journal.jsonl")) {
-        Ok(j) => j,
-        Err(e) => {
-            eprintln!("fig3: opening journal: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
     let opts = RunOptions {
         workers: args.workers(),
         cache: match cache_for(outdir, args.use_cache) {
@@ -68,6 +55,8 @@ fn main() -> ExitCode {
         progress: true,
         job_timeout: args.job_timeout(),
         retries: args.retries,
+        retry_seed: args.retry_seed,
+        retry_base_ms: args.retry_base_ms,
     };
 
     let seeds: Vec<u64> = (0..8).collect();
@@ -86,8 +75,19 @@ fn main() -> ExitCode {
             }
         }
     }
-    let reports = run_jobs(&jobs, &opts, &journal);
+    // Campaign::start recovers from a crashed prior run: started-but-died
+    // jobs are distrusted and re-executed, committed ones come from cache.
+    let campaign = match Campaign::start("fig3", outdir, &jobs, &opts, std_fs(), vec![]) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("fig3: opening campaign: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let journal = campaign.journal();
+    let reports = campaign.execute(&jobs, &opts);
     if reports.iter().any(|r| r.output.is_err()) {
+        campaign.finish(false, vec![]);
         eprintln!("fig3: a job failed; see results/journal.jsonl");
         return ExitCode::FAILURE;
     }
@@ -111,7 +111,7 @@ fn main() -> ExitCode {
     };
     for (panel, nodes) in [("(a)", 64u32), ("(b)", 512u32)] {
         let (center, corner) = timed_stage(
-            Some(&journal),
+            Some(journal),
             &format!("fig3 panel {panel} ({nodes} nodes)"),
             || (curve(nodes, false), curve(nodes, true)),
         );
@@ -140,5 +140,6 @@ fn main() -> ExitCode {
             );
         }
     }
+    campaign.finish(true, vec![]);
     ExitCode::SUCCESS
 }

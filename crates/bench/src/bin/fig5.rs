@@ -16,8 +16,7 @@ use std::process::ExitCode;
 use htpb_bench::{banner, timed_stage};
 use htpb_core::{Mix, Series};
 use htpb_harness::{
-    cache_for, ensure_outdir, run_jobs, CampaignScale, HarnessArgs, JobOutput, JobSpec, Journal,
-    RunOptions,
+    cache_for, std_fs, Campaign, CampaignScale, HarnessArgs, JobOutput, JobSpec, RunOptions,
 };
 
 fn main() -> ExitCode {
@@ -34,17 +33,6 @@ fn main() -> ExitCode {
     };
     banner("Fig. 5", "attack effect Q vs. infection rate per mix");
     let outdir = Path::new("results");
-    if let Err(e) = ensure_outdir(outdir) {
-        eprintln!("fig5: {e}");
-        return ExitCode::FAILURE;
-    }
-    let journal = match Journal::open(&outdir.join("journal.jsonl")) {
-        Ok(j) => j,
-        Err(e) => {
-            eprintln!("fig5: opening journal: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
     let opts = RunOptions {
         workers: args.workers(),
         cache: match cache_for(outdir, args.use_cache) {
@@ -64,6 +52,8 @@ fn main() -> ExitCode {
         progress: true,
         job_timeout: args.job_timeout(),
         retries: args.retries,
+        retry_seed: args.retry_seed,
+        retry_base_ms: args.retry_base_ms,
     };
 
     // One job per (mix, duty): a full campaign, its clean baseline shared
@@ -80,8 +70,19 @@ fn main() -> ExitCode {
             });
         }
     }
-    let reports = run_jobs(&jobs, &opts, &journal);
+    // Campaign::start recovers from a crashed prior run: started-but-died
+    // jobs are distrusted and re-executed, committed ones come from cache.
+    let campaign = match Campaign::start("fig5", outdir, &jobs, &opts, std_fs(), vec![]) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("fig5: opening campaign: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let journal = campaign.journal();
+    let reports = campaign.execute(&jobs, &opts);
     if reports.iter().any(|r| r.output.is_err()) {
+        campaign.finish(false, vec![]);
         eprintln!("fig5: a job failed; see results/journal.jsonl");
         return ExitCode::FAILURE;
     }
@@ -90,7 +91,7 @@ fn main() -> ExitCode {
     let mut tables = Vec::new();
     let mut next = 0usize;
     for mix in Mix::ALL {
-        let series = timed_stage(Some(&journal), &format!("fig5 {}", mix.name()), || {
+        let series = timed_stage(Some(journal), &format!("fig5 {}", mix.name()), || {
             let mut series = Series::new(mix.name());
             for _ in &duty_tenths {
                 let JobOutput::Sweep { infection, q, .. } = reports[next].expect_output() else {
@@ -123,5 +124,6 @@ fn main() -> ExitCode {
         "shape: peak Q = {:.2} on {} (paper: 6.89 on mix-4 at 0.9 infection)",
         peak.0, peak.1
     );
+    campaign.finish(true, vec![]);
     ExitCode::SUCCESS
 }

@@ -12,19 +12,27 @@
 //!   per core; deterministic — parallel output is byte-identical to
 //!   sequential);
 //! - `--no-cache`   recompute every point, ignore `results/.cache/`;
-//! - `--resume`     reuse cached points (the default) — an interrupted run
-//!   picks up where it left off;
+//! - `--resume`     reuse cached points (the default) — an interrupted or
+//!   crashed run picks up where it left off: jobs the journal shows as
+//!   started-but-died are distrusted and re-run, committed ones are served
+//!   from cache, and the final artefacts are byte-identical to an
+//!   uninterrupted run;
+//! - `--verify`     after the run, re-checksum every emitted artefact
+//!   against the digests recorded in the journal; exit non-zero on any
+//!   mismatch;
 //! - `--sequential` bypass the job pool and run the legacy whole-series
 //!   drivers in order (reference path, no cache).
 //!
-//! Every run appends per-job and per-stage timings to
-//! `results/journal.jsonl`.
+//! Every run appends framed, checksummed per-job lifecycle events and
+//! per-stage timings to `results/journal.jsonl` (see
+//! `docs/CRASH_SAFETY.md`).
 
 use std::path::Path;
 use std::process::ExitCode;
 
 use htpb_harness::{
-    cache_for, run_repro, run_repro_sequential, HarnessArgs, ReproScale, RunOptions,
+    cache_for, run_repro, run_repro_sequential, verify_artefacts, HarnessArgs, ReproScale,
+    RunOptions,
 };
 
 fn main() -> ExitCode {
@@ -37,11 +45,13 @@ fn main() -> ExitCode {
     };
     let mut scale = ReproScale::Paper;
     let mut sequential = false;
+    let mut verify = false;
     for arg in &args.rest {
         match arg.as_str() {
             "--quick" => scale = ReproScale::Quick,
             "--tiny" => scale = ReproScale::Tiny,
             "--sequential" => sequential = true,
+            "--verify" => verify = true,
             other => {
                 eprintln!("repro_all: unknown flag `{other}`");
                 return ExitCode::FAILURE;
@@ -73,10 +83,12 @@ fn main() -> ExitCode {
             progress: true,
             job_timeout: args.job_timeout(),
             retries: args.retries,
+            retry_seed: args.retry_seed,
+            retry_base_ms: args.retry_base_ms,
         };
         run_repro(scale, outdir, &opts)
     };
-    match result {
+    let run_ok = match result {
         Ok(outcome) if outcome.failed == 0 => {
             if outcome.jobs > 0 {
                 eprintln!(
@@ -88,18 +100,43 @@ fn main() -> ExitCode {
                     outcome.baseline_hits, outcome.baseline_misses
                 );
             }
-            ExitCode::SUCCESS
+            true
         }
         Ok(outcome) => {
             eprintln!(
                 "repro_all: {} job(s) failed; see results/journal.jsonl",
                 outcome.failed
             );
-            ExitCode::FAILURE
+            false
         }
         Err(e) => {
             eprintln!("repro_all: {e}");
-            ExitCode::FAILURE
+            false
         }
+    };
+    if verify {
+        match verify_artefacts(outdir) {
+            Ok(report) if report.ok() => {
+                eprintln!(
+                    "[harness] verify: {} artefact(s) match their journalled digests",
+                    report.verified
+                );
+            }
+            Ok(report) => {
+                for m in &report.mismatches {
+                    eprintln!("repro_all: verify: {m}");
+                }
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("repro_all: verify: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if run_ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
     }
 }

@@ -57,6 +57,8 @@ fn main() -> ExitCode {
         progress: true,
         job_timeout: args.job_timeout(),
         retries: args.retries,
+        retry_seed: args.retry_seed,
+        retry_base_ms: args.retry_base_ms,
     };
     match run_resilience_sweep(scale, outdir, &opts) {
         Ok(outcome) if outcome.failed == 0 => {

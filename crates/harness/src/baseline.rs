@@ -17,15 +17,16 @@
 //!    hitting the same config block on one computation and share the result
 //!    while *different* configs still compute in parallel;
 //! 2. an optional on-disk layer under the run's `.cache/` directory
-//!    (`baseline-<16 hex>.json`, temp-file + rename writes, corrupt entries
-//!    degrade to misses) so warm re-runs skip baselines entirely.
+//!    (`baseline-<16 hex>.json`, committed via [`crate::fs::commit_file`]
+//!    with a unique temp name so two *processes* racing on one entry both
+//!    succeed; entries are checksummed and corrupt ones degrade to misses)
+//!    so warm re-runs skip baselines entirely.
 //!
 //! Substituting a memoized baseline is bit-identical to recomputing it: the
 //! clean and attacked systems are constructed and seeded independently, and
 //! the JSON layer round-trips `f64`s bit-exactly.
 
 use std::collections::HashMap;
-use std::fs;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -34,7 +35,8 @@ use htpb_core::experiments::{run_clean_baseline, CampaignConfig};
 use htpb_manycore::{AppId, AppPerformance, AppRole, Benchmark, PerformanceReport};
 
 use crate::cache::SCHEMA_VERSION;
-use crate::hash::fnv1a64_parts;
+use crate::fs::{commit_file, std_fs, Fs};
+use crate::hash::{fnv1a64, fnv1a64_parts};
 use crate::json::{self, Value};
 
 /// Memoizes clean baseline reports across jobs, with an optional on-disk
@@ -42,6 +44,7 @@ use crate::json::{self, Value};
 pub struct BaselineCache {
     memo: Mutex<HashMap<u64, Arc<OnceLock<Arc<PerformanceReport>>>>>,
     dir: Option<PathBuf>,
+    fs: Arc<dyn Fs>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -63,6 +66,7 @@ impl BaselineCache {
         BaselineCache {
             memo: Mutex::new(HashMap::new()),
             dir: None,
+            fs: std_fs(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
@@ -72,11 +76,19 @@ impl BaselineCache {
     /// needed; if creation fails the cache silently stays memory-only).
     #[must_use]
     pub fn with_dir(dir: impl Into<PathBuf>) -> BaselineCache {
+        BaselineCache::with_dir_fs(dir, std_fs())
+    }
+
+    /// Like [`BaselineCache::with_dir`], on an explicit [`Fs`]
+    /// (fault-injection tests).
+    #[must_use]
+    pub fn with_dir_fs(dir: impl Into<PathBuf>, fs: Arc<dyn Fs>) -> BaselineCache {
         let dir = dir.into();
-        let dir = fs::create_dir_all(&dir).ok().map(|()| dir);
+        let dir = fs.create_dir_all(&dir).ok().map(|()| dir);
         BaselineCache {
             memo: Mutex::new(HashMap::new()),
             dir,
+            fs,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
@@ -142,29 +154,38 @@ impl BaselineCache {
     }
 
     fn load(&self, key: u64, cfg: &CampaignConfig) -> Option<PerformanceReport> {
-        let text = fs::read_to_string(self.entry_path(key)?).ok()?;
+        let bytes = self.fs.read(&self.entry_path(key)?).ok()?;
+        let text = String::from_utf8(bytes).ok()?;
         let value = json::parse(&text).ok()?;
         // Stored id must match — hash-collision guard, same as ResultCache.
         if value.get("id")?.as_str()? != cfg.baseline_id() {
             return None;
         }
-        report_from_json(value.get("report")?)
+        let payload = value.get("report")?;
+        let stored = value.get("fnv")?.as_str()?;
+        if stored != format!("{:016x}", fnv1a64(payload.render().as_bytes())) {
+            return None;
+        }
+        report_from_json(payload)
     }
 
     fn store(&self, key: u64, cfg: &CampaignConfig, report: &PerformanceReport) {
         let Some(path) = self.entry_path(key) else {
             return;
         };
+        let payload = report_to_json(report);
+        let digest = format!("{:016x}", fnv1a64(payload.render().as_bytes()));
         let body = Value::obj(vec![
             ("schema", Value::Int(i64::from(SCHEMA_VERSION))),
             ("id", Value::Str(cfg.baseline_id())),
-            ("report", report_to_json(report)),
+            ("fnv", Value::Str(digest)),
+            ("report", payload),
         ]);
-        let tmp = path.with_extension("json.tmp");
-        // Persistence is an optimization; failures just cost a recompute.
-        if fs::write(&tmp, body.render() + "\n").is_ok() {
-            let _ = fs::rename(&tmp, &path);
-        }
+        // Committed with a per-process unique temp name, so two processes
+        // racing on the same entry each rename a complete file — last
+        // writer wins with identical bytes. Persistence stays an
+        // optimization; failures just cost a recompute.
+        let _ = commit_file(self.fs.as_ref(), &path, (body.render() + "\n").as_bytes());
     }
 }
 
@@ -253,6 +274,7 @@ fn u64_field(value: &Value, key: &str) -> Option<u64> {
 mod tests {
     use super::*;
     use htpb_attack::Mix;
+    use std::fs;
 
     fn report() -> PerformanceReport {
         PerformanceReport {

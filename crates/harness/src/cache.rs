@@ -6,35 +6,47 @@
 //! encodes every result-affecting parameter, a cache hit is always safe to
 //! reuse; changing any parameter (or bumping the schema) changes the key.
 //!
-//! Writes go through a temp file + rename so an interrupted run never
-//! leaves a truncated entry — a killed `repro_all` resumes by rerunning
-//! only the jobs whose files are missing. Corrupt or unreadable entries
-//! are treated as misses and silently recomputed.
+//! Writes go through [`crate::fs::commit_file`] (unique temp file, fsync,
+//! rename, dir-fsync), so an interrupted run never leaves a truncated
+//! entry and two processes racing on the same entry both succeed. Each
+//! entry carries an FNV-1a-64 checksum of its payload, verified on load;
+//! corrupt, doctored or unreadable entries degrade to a miss and are
+//! recomputed. [`ResultCache::invalidate`] removes an entry outright —
+//! recovery uses it to distrust the on-disk state of jobs whose journal
+//! shows a `job_start` with no `job_done`.
 
-use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
-use crate::hash::fnv1a64_parts;
+use crate::fs::{commit_file, std_fs, Fs};
+use crate::hash::{fnv1a64, fnv1a64_parts};
 use crate::job::{JobOutput, JobSpec};
 use crate::json;
 
 /// Bump when the meaning or encoding of any cached result changes; every
-/// existing entry then misses and is recomputed.
-pub const SCHEMA_VERSION: u32 = 1;
+/// existing entry then misses and is recomputed. v2: entries are
+/// checksummed and committed durably.
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// Handle to a cache directory.
 #[derive(Debug, Clone)]
 pub struct ResultCache {
     dir: PathBuf,
+    fs: Arc<dyn Fs>,
 }
 
 impl ResultCache {
     /// Opens (creating if needed) the cache directory.
     pub fn open(dir: impl Into<PathBuf>) -> io::Result<ResultCache> {
+        ResultCache::open_with_fs(dir, std_fs())
+    }
+
+    /// Opens the cache on an explicit [`Fs`] (fault-injection tests).
+    pub fn open_with_fs(dir: impl Into<PathBuf>, fs: Arc<dyn Fs>) -> io::Result<ResultCache> {
         let dir = dir.into();
-        fs::create_dir_all(&dir)?;
-        Ok(ResultCache { dir })
+        fs.create_dir_all(&dir)?;
+        Ok(ResultCache { dir, fs })
     }
 
     /// The conventional cache location for an output directory:
@@ -56,36 +68,57 @@ impl ResultCache {
             .join(format!("{}-{:016x}.json", spec.kind(), Self::key(spec)))
     }
 
-    /// Loads a cached result. `None` on miss *or* on a corrupt entry.
+    /// Loads a cached result. `None` on miss *or* on a corrupt entry
+    /// (bad JSON, checksum mismatch, or an id that doesn't match).
     #[must_use]
     pub fn load(&self, spec: &JobSpec) -> Option<JobOutput> {
-        let text = fs::read_to_string(self.entry_path(spec)).ok()?;
+        let bytes = self.fs.read(&self.entry_path(spec)).ok()?;
+        let text = String::from_utf8(bytes).ok()?;
         let value = json::parse(&text).ok()?;
         // The stored id must match, both as a hash-collision guard and so
         // a hand-edited file for the wrong job can't be served.
         if value.get("id")?.as_str()? != spec.id() {
             return None;
         }
-        JobOutput::from_json(value.get("output")?)
+        let payload = value.get("output")?;
+        let stored = value.get("fnv")?.as_str()?;
+        if stored != format!("{:016x}", fnv1a64(payload.render().as_bytes())) {
+            return None;
+        }
+        JobOutput::from_json(payload)
     }
 
-    /// Stores a result atomically (temp file + rename).
+    /// Stores a result durably via the commit protocol. The entry embeds
+    /// an FNV-1a-64 checksum of the rendered output payload.
     pub fn store(&self, spec: &JobSpec, output: &JobOutput) -> io::Result<()> {
+        let payload = output.to_json();
+        let digest = format!("{:016x}", fnv1a64(payload.render().as_bytes()));
         let body = json::Value::obj(vec![
             ("schema", json::Value::Int(i64::from(SCHEMA_VERSION))),
             ("id", json::Value::Str(spec.id())),
-            ("output", output.to_json()),
+            ("fnv", json::Value::Str(digest)),
+            ("output", payload),
         ]);
-        let path = self.entry_path(spec);
-        let tmp = path.with_extension("json.tmp");
-        fs::write(&tmp, body.render() + "\n")?;
-        fs::rename(&tmp, &path)
+        commit_file(
+            self.fs.as_ref(),
+            &self.entry_path(spec),
+            (body.render() + "\n").as_bytes(),
+        )
+    }
+
+    /// Removes the entry for `spec`, if any. Recovery calls this for
+    /// every interrupted job (`job_start` without `job_done`): state
+    /// written by a process that died mid-job is never trusted, even if
+    /// the entry happens to read back clean.
+    pub fn invalidate(&self, spec: &JobSpec) -> io::Result<()> {
+        self.fs.remove_file(&self.entry_path(spec))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::fs;
 
     fn spec(ht_count: usize) -> JobSpec {
         JobSpec::Fig3Point {
@@ -123,6 +156,36 @@ mod tests {
         // Corruption degrades to a miss, not an error.
         fs::write(cache.entry_path(&s), "{not json").unwrap();
         assert_eq!(cache.load(&s), None);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checksum_guards_against_doctored_payload() {
+        let dir = tmpdir("checksum");
+        let cache = ResultCache::open(&dir).unwrap();
+        let s = spec(5);
+        cache.store(&s, &JobOutput::Rate(0.25)).unwrap();
+        // Flip a payload digit while keeping the JSON valid: the embedded
+        // checksum no longer matches, so the entry reads as a miss.
+        let path = cache.entry_path(&s);
+        let text = fs::read_to_string(&path).unwrap();
+        assert!(text.contains("0.25"));
+        fs::write(&path, text.replace("0.25", "0.26")).unwrap();
+        assert_eq!(cache.load(&s), None);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn invalidate_forces_a_miss() {
+        let dir = tmpdir("invalidate");
+        let cache = ResultCache::open(&dir).unwrap();
+        let s = spec(5);
+        cache.store(&s, &JobOutput::Rate(0.5)).unwrap();
+        assert!(cache.load(&s).is_some());
+        cache.invalidate(&s).unwrap();
+        assert_eq!(cache.load(&s), None);
+        // Invalidating a missing entry is not an error.
+        cache.invalidate(&s).unwrap();
         let _ = fs::remove_dir_all(&dir);
     }
 }

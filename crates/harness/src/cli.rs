@@ -10,7 +10,10 @@
 //!   an earlier `--no-cache`);
 //! - `--job-timeout SECS` — per-job wall-clock limit (`0` or absent =
 //!   unbounded); a timed-out job is retried, then recorded as failed;
-//! - `--retries N` — retries per timed-out job (default 1).
+//! - `--retries N` — retries per timed-out job (default 1);
+//! - `--retry-base-ms N` — base unit of the deterministic exponential
+//!   retry backoff (default 25; `0` = immediate re-queue);
+//! - `--retry-seed N` — seed folded into the backoff jitter (default 0).
 //!
 //! Binary-specific flags are returned untouched in [`HarnessArgs::rest`].
 
@@ -29,6 +32,10 @@ pub struct HarnessArgs {
     pub job_timeout_secs: Option<u64>,
     /// Retries per timed-out job.
     pub retries: u32,
+    /// Base unit (ms) of the deterministic exponential retry backoff.
+    pub retry_base_ms: u64,
+    /// Seed folded into the retry-backoff jitter.
+    pub retry_seed: u64,
     /// Arguments not consumed by the harness.
     pub rest: Vec<String>,
 }
@@ -42,6 +49,8 @@ impl HarnessArgs {
             use_cache: true,
             job_timeout_secs: None,
             retries: 1,
+            retry_base_ms: 25,
+            retry_seed: 0,
             rest: Vec::new(),
         };
         let mut it = args.into_iter();
@@ -78,6 +87,25 @@ impl HarnessArgs {
                 }
                 _ if arg.starts_with("--retries=") => {
                     parsed.retries = number("--retries", &arg["--retries=".len()..])? as u32;
+                }
+                "--retry-base-ms" => {
+                    let n = it
+                        .next()
+                        .ok_or_else(|| "--retry-base-ms requires a number".to_string())?;
+                    parsed.retry_base_ms = number("--retry-base-ms", &n)?;
+                }
+                _ if arg.starts_with("--retry-base-ms=") => {
+                    parsed.retry_base_ms =
+                        number("--retry-base-ms", &arg["--retry-base-ms=".len()..])?;
+                }
+                "--retry-seed" => {
+                    let n = it
+                        .next()
+                        .ok_or_else(|| "--retry-seed requires a number".to_string())?;
+                    parsed.retry_seed = number("--retry-seed", &n)?;
+                }
+                _ if arg.starts_with("--retry-seed=") => {
+                    parsed.retry_seed = number("--retry-seed", &arg["--retry-seed=".len()..])?;
                 }
                 "--no-cache" => parsed.use_cache = false,
                 "--resume" => parsed.use_cache = true,
@@ -146,6 +174,19 @@ mod tests {
         let a = parse(&["--job-timeout=0", "--retries=0"]);
         assert_eq!(a.job_timeout(), None, "0 seconds means unbounded");
         assert_eq!(a.retries, 0);
+    }
+
+    #[test]
+    fn backoff_flags() {
+        let a = parse(&[]);
+        assert_eq!(a.retry_base_ms, 25);
+        assert_eq!(a.retry_seed, 0);
+        let a = parse(&["--retry-base-ms", "100", "--retry-seed=7"]);
+        assert_eq!(a.retry_base_ms, 100);
+        assert_eq!(a.retry_seed, 7);
+        let a = parse(&["--retry-base-ms=0"]);
+        assert_eq!(a.retry_base_ms, 0, "0 disables backoff");
+        assert!(HarnessArgs::parse(vec!["--retry-seed".to_string()]).is_err());
     }
 
     #[test]

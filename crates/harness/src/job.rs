@@ -395,7 +395,8 @@ impl JobSpec {
                 if path.exists() {
                     return JobOutput::Rate(1.0);
                 }
-                std::fs::write(path, b"attempted\n").expect("write flaky-probe marker");
+                crate::fs::commit_file(crate::fs::std_fs().as_ref(), path, b"attempted\n")
+                    .expect("write flaky-probe marker");
                 panic!("flaky probe: first attempt always fails");
             }
         }

@@ -1,51 +1,111 @@
-//! Machine-readable run journal: one JSON object per line (JSONL).
+//! Machine-readable run journal: framed, checksummed records (v2), one per
+//! line, readable back tolerantly — including v1 journals from older runs.
 //!
-//! Every campaign appends to `<outdir>/journal.jsonl`. Events share two
-//! fields — `"event"` and `"ts_ms"` (Unix epoch milliseconds) — plus
-//! event-specific payloads:
+//! ## Record format
+//!
+//! **v2** (written by this version) frames each JSON payload so torn or
+//! bit-rotted records are *detected*, not guessed at:
+//!
+//! ```text
+//! v2|<len>|<fnv16>|<payload-json>\n
+//! ```
+//!
+//! `len` is the payload's byte length in decimal; `fnv16` is the
+//! 16-hex-digit FNV-1a-64 of the payload bytes. A record whose length or
+//! checksum does not match is corrupt (typically the torn tail a SIGKILL
+//! mid-append leaves) and is skipped with a warning. **v1** records — bare
+//! JSON lines written before the framing existed — are still parsed, so
+//! old journals replay.
+//!
+//! ## Events
+//!
+//! Every record carries `"event"`, `"ts_ms"` (Unix epoch milliseconds) and
+//! `"epoch"` — the run epoch, i.e. 1 + the number of `run_start` records
+//! already in the journal when this writer opened it. Recovery uses the
+//! `job_start` / `job_done` pairing to distinguish three job states:
+//!
+//! | state | evidence | recovery action |
+//! |---|---|---|
+//! | never started | no events for the id | run it |
+//! | started, died | `job_start` without a later `job_done` | distrust any cache entry; re-run |
+//! | committed | `job_done` with `"ok":true,"cached":true` | serve from cache, never re-execute |
 //!
 //! | event | fields |
 //! |---|---|
 //! | `run_start` | `run`, `scale`, `workers`, `jobs` |
-//! | `job` | `id`, `kind`, `worker`, `cache_hit`, `ok`, `secs`, `error?` |
+//! | `job_start` | `id`, `kind`, `worker`, `attempt` |
+//! | `job_done` | `id`, `kind`, `worker`, `cache_hit`, `cached`, `ok`, `secs`, `error?` |
+//! | `job_timeout` | `id`, `attempt`, `limit_secs` |
+//! | `job_retry` | `id`, `attempt`, `delay_ms` |
+//! | `job_recovered` | `id` (an interrupted job whose cache entry was distrusted) |
+//! | `artefact` | `path`, `bytes`, `fnv` |
 //! | `stage` | `label`, `secs` |
 //! | `run_end` | `run`, `secs`, `ok`, `failed`, `cache_hits` |
 //!
 //! The file is append-only across runs (a resumed campaign keeps its
-//! history) and writes are serialised through a mutex so concurrent
-//! workers never interleave partial lines.
+//! history). Appends are serialised through a mutex and each record lands
+//! with a single durable `O_APPEND` write via [`crate::fs::commit_append`],
+//! so concurrent workers never interleave partial lines and a crash tears
+//! at most the final record.
 
-use std::fs::{self, OpenOptions};
-use std::io::{self, Write};
-use std::path::Path;
-use std::sync::Mutex;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
 use std::time::{SystemTime, UNIX_EPOCH};
 
+use crate::fs::{commit_append, std_fs, Fs};
+use crate::hash::fnv1a64;
 use crate::json::Value;
 
-/// Append-only JSONL journal, safe to share across worker threads.
+/// Append-only journal, safe to share across worker threads.
 pub struct Journal {
-    sink: Mutex<Box<dyn Write + Send>>,
+    sink: Mutex<Sink>,
+    epoch: i64,
+}
+
+enum Sink {
+    Disabled,
+    File { fs: Arc<dyn Fs>, path: PathBuf },
 }
 
 impl std::fmt::Debug for Journal {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Journal").finish_non_exhaustive()
+        f.debug_struct("Journal")
+            .field("epoch", &self.epoch)
+            .finish_non_exhaustive()
     }
 }
 
 impl Journal {
-    /// Opens (appending) the journal at `path`, creating parent
-    /// directories as needed.
+    /// Opens (appending) the journal at `path`, creating parent directories
+    /// as needed, on the production filesystem.
     pub fn open(path: &Path) -> io::Result<Journal> {
+        Journal::open_with_fs(path, std_fs())
+    }
+
+    /// Opens the journal on an explicit [`Fs`] (fault-injection tests).
+    ///
+    /// The new writer's run epoch is computed from the readable prefix of
+    /// the existing file: 1 + the number of `run_start` records.
+    pub fn open_with_fs(path: &Path, fs: Arc<dyn Fs>) -> io::Result<Journal> {
         if let Some(parent) = path.parent() {
             if !parent.as_os_str().is_empty() {
-                fs::create_dir_all(parent)?;
+                fs.create_dir_all(parent)?;
             }
         }
-        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        let epoch = 1 + Journal::read_events(path)?
+            .iter()
+            .filter(|e| e.get("event").and_then(Value::as_str) == Some("run_start"))
+            .count() as i64;
+        // Touch the file so an opened journal exists even before the first
+        // record (resume logic can then rely on the file's presence).
+        commit_append(fs.as_ref(), path, b"")?;
         Ok(Journal {
-            sink: Mutex::new(Box::new(file)),
+            sink: Mutex::new(Sink::File {
+                fs,
+                path: path.to_path_buf(),
+            }),
+            epoch,
         })
     }
 
@@ -54,8 +114,15 @@ impl Journal {
     #[must_use]
     pub fn disabled() -> Journal {
         Journal {
-            sink: Mutex::new(Box::new(io::sink())),
+            sink: Mutex::new(Sink::Disabled),
+            epoch: 1,
         }
+    }
+
+    /// The run epoch this writer stamps on every record.
+    #[must_use]
+    pub fn epoch(&self) -> i64 {
+        self.epoch
     }
 
     /// Appends one event line with the given payload fields.
@@ -63,23 +130,44 @@ impl Journal {
         let mut pairs = vec![
             ("event", Value::Str(event.to_string())),
             ("ts_ms", Value::Int(now_ms())),
+            ("epoch", Value::Int(self.epoch)),
         ];
         pairs.extend(fields);
-        let line = Value::obj(pairs).render();
-        let mut sink = self.sink.lock().unwrap_or_else(|e| e.into_inner());
-        // Journal I/O failures must not abort a campaign; drop the line.
-        let _ = writeln!(sink, "{line}");
-        let _ = sink.flush();
+        let payload = Value::obj(pairs).render();
+        let line = frame_v2(&payload);
+        let sink = self.sink.lock().unwrap_or_else(|e| e.into_inner());
+        if let Sink::File { fs, path } = &*sink {
+            // Journal I/O failures must not abort a campaign; drop the line
+            // (recovery treats a missing job_done as "re-run", never worse).
+            let _ = commit_append(fs.as_ref(), path, line.as_bytes());
+        }
     }
 
-    /// Records the completion of one job.
+    /// Records that a worker is about to *execute* a job (not a cache hit).
+    /// A `job_start` without a later `job_done` marks an interrupted job.
+    pub fn job_start(&self, id: &str, kind: &str, worker: usize, attempt: u32) {
+        self.record(
+            "job_start",
+            vec![
+                ("id", Value::Str(id.to_string())),
+                ("kind", Value::Str(kind.to_string())),
+                ("worker", Value::Int(worker as i64)),
+                ("attempt", Value::Int(i64::from(attempt))),
+            ],
+        );
+    }
+
+    /// Records the completion of one job. `cached` reports whether the
+    /// result is durably in the cache (a hit, or a successful commit) —
+    /// the predicate recovery uses to promise the job never re-executes.
     #[allow(clippy::too_many_arguments, clippy::fn_params_excessive_bools)]
-    pub fn job(
+    pub fn job_done(
         &self,
         id: &str,
         kind: &str,
         worker: usize,
         cache_hit: bool,
+        cached: bool,
         ok: bool,
         secs: f64,
         error: Option<&str>,
@@ -89,13 +177,14 @@ impl Journal {
             ("kind", Value::Str(kind.to_string())),
             ("worker", Value::Int(worker as i64)),
             ("cache_hit", Value::Bool(cache_hit)),
+            ("cached", Value::Bool(cached)),
             ("ok", Value::Bool(ok)),
             ("secs", Value::Num(secs)),
         ];
         if let Some(e) = error {
             fields.push(("error", Value::Str(e.to_string())));
         }
-        self.record("job", fields);
+        self.record("job_done", fields);
     }
 
     /// Records a named pipeline stage's wall time (used by
@@ -110,45 +199,160 @@ impl Journal {
         );
     }
 
+    /// Records a committed artefact's size and FNV-1a-64 digest.
+    /// `repro_all --verify` replays these against the files on disk.
+    pub fn artefact(&self, name: &str, bytes: &[u8]) {
+        self.record(
+            "artefact",
+            vec![
+                ("path", Value::Str(name.to_string())),
+                ("bytes", Value::Int(bytes.len() as i64)),
+                ("fnv", Value::Str(format!("{:016x}", fnv1a64(bytes)))),
+            ],
+        );
+    }
+
+    /// Parses one journal line: a framed v2 record (length and checksum
+    /// verified) or a bare v1 JSON line. `None` for corrupt lines.
+    #[must_use]
+    pub fn parse_line(line: &str) -> Option<Value> {
+        if let Some(rest) = line.strip_prefix("v2|") {
+            let (len, rest) = rest.split_once('|')?;
+            let (check, payload) = rest.split_once('|')?;
+            let len: usize = len.parse().ok()?;
+            if payload.len() != len {
+                return None;
+            }
+            let digest = format!("{:016x}", fnv1a64(payload.as_bytes()));
+            if digest != check {
+                return None;
+            }
+            crate::json::parse(payload).ok()
+        } else {
+            crate::json::parse(line).ok()
+        }
+    }
+
     /// Reads a journal file back as parsed events, in order. A missing
-    /// file is an empty journal. Unparseable lines — typically one
-    /// truncated trailing line left by a killed writer — are skipped with
-    /// a warning on stderr rather than failing the resume.
+    /// file is an empty journal. Corrupt records — a torn trailing line
+    /// left by a killed writer, or a v2 frame whose checksum fails — are
+    /// skipped with a warning rather than failing the resume.
     pub fn read_events(path: &Path) -> io::Result<Vec<Value>> {
-        let text = match fs::read_to_string(path) {
-            Ok(text) => text,
-            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Journal::read_events_stats(path).map(|(events, _)| events)
+    }
+
+    /// Like [`Journal::read_events`], also returning how many corrupt
+    /// lines were skipped (the chaos harness bounds this by the number of
+    /// kills a journal survived).
+    pub fn read_events_stats(path: &Path) -> io::Result<(Vec<Value>, usize)> {
+        let bytes = match std_fs().read(path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok((Vec::new(), 0)),
             Err(e) => return Err(e),
         };
+        let text = String::from_utf8_lossy(&bytes);
         let mut events = Vec::new();
+        let mut corrupt = 0;
         for (lineno, line) in text.lines().enumerate() {
             if line.trim().is_empty() {
                 continue;
             }
-            match crate::json::parse(line) {
-                Ok(v) => events.push(v),
-                Err(_) => eprintln!(
-                    "[harness] warning: skipping corrupt journal line {} in {}",
-                    lineno + 1,
-                    path.display()
-                ),
+            match Journal::parse_line(line) {
+                Some(v) => events.push(v),
+                None => {
+                    corrupt += 1;
+                    eprintln!(
+                        "[harness] warning: skipping corrupt journal line {} in {}",
+                        lineno + 1,
+                        path.display()
+                    );
+                }
             }
         }
-        Ok(events)
+        Ok((events, corrupt))
     }
 
     /// The ids of jobs a prior (possibly interrupted) run already
-    /// completed successfully, according to its journal. Tolerates a
-    /// corrupt trailing line like [`Journal::read_events`].
+    /// completed successfully, according to its journal. Accepts both the
+    /// v2 `job_done` event and the v1 `job` event. Tolerates corrupt lines
+    /// like [`Journal::read_events`].
     pub fn completed_job_ids(path: &Path) -> io::Result<Vec<String>> {
         let events = Journal::read_events(path)?;
-        Ok(events
-            .iter()
-            .filter(|e| e.get("event").and_then(Value::as_str) == Some("job"))
-            .filter(|e| e.get("ok") == Some(&Value::Bool(true)))
-            .filter_map(|e| e.get("id")?.as_str().map(ToString::to_string))
-            .collect())
+        Ok(completed_in(&events))
     }
+
+    /// The ids of jobs some run *started but never finished*: a
+    /// `job_start` with no later `job_done` for the same id. These jobs
+    /// died mid-execution — recovery must distrust any state they left
+    /// (cache entries included) and re-run them.
+    pub fn interrupted_job_ids(path: &Path) -> io::Result<Vec<String>> {
+        let events = Journal::read_events(path)?;
+        let mut open: Vec<String> = Vec::new();
+        for e in &events {
+            let Some(id) = e.get("id").and_then(Value::as_str) else {
+                continue;
+            };
+            match e.get("event").and_then(Value::as_str) {
+                Some("job_start") if !open.iter().any(|o| o == id) => {
+                    open.push(id.to_string());
+                }
+                Some("job_done" | "job") => open.retain(|o| o != id),
+                _ => {}
+            }
+        }
+        Ok(open)
+    }
+
+    /// The most recent recorded digest per artefact path: `(path, bytes,
+    /// fnv16)` — what `--verify` checks the files on disk against.
+    pub fn artefact_digests(path: &Path) -> io::Result<Vec<(String, i64, String)>> {
+        let events = Journal::read_events(path)?;
+        let mut digests: Vec<(String, i64, String)> = Vec::new();
+        for e in &events {
+            if e.get("event").and_then(Value::as_str) != Some("artefact") {
+                continue;
+            }
+            let (Some(name), Some(bytes), Some(fnv)) = (
+                e.get("path").and_then(Value::as_str),
+                e.get("bytes").and_then(Value::as_i64),
+                e.get("fnv").and_then(Value::as_str),
+            ) else {
+                continue;
+            };
+            if let Some(existing) = digests.iter_mut().find(|(p, _, _)| p == name) {
+                *existing = (name.to_string(), bytes, fnv.to_string());
+            } else {
+                digests.push((name.to_string(), bytes, fnv.to_string()));
+            }
+        }
+        Ok(digests)
+    }
+}
+
+/// Completed job ids from already-parsed events (v1 `job` or v2
+/// `job_done`, `"ok":true`).
+#[must_use]
+pub fn completed_in(events: &[Value]) -> Vec<String> {
+    events
+        .iter()
+        .filter(|e| {
+            matches!(
+                e.get("event").and_then(Value::as_str),
+                Some("job" | "job_done")
+            )
+        })
+        .filter(|e| e.get("ok") == Some(&Value::Bool(true)))
+        .filter_map(|e| e.get("id")?.as_str().map(ToString::to_string))
+        .collect()
+}
+
+/// Frames a payload as a v2 record line.
+fn frame_v2(payload: &str) -> String {
+    format!(
+        "v2|{}|{:016x}|{payload}\n",
+        payload.len(),
+        fnv1a64(payload.as_bytes())
+    )
 }
 
 fn now_ms() -> i64 {
@@ -161,26 +365,43 @@ fn now_ms() -> i64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::fs;
+
+    fn tmpfile(tag: &str) -> PathBuf {
+        let path =
+            std::env::temp_dir().join(format!("htpb-journal-{tag}-{}.jsonl", std::process::id()));
+        let _ = fs::remove_file(&path);
+        path
+    }
 
     #[test]
-    fn journal_lines_are_valid_jsonl() {
-        let path =
-            std::env::temp_dir().join(format!("htpb-journal-test-{}.jsonl", std::process::id()));
-        let _ = fs::remove_file(&path);
+    fn journal_lines_are_framed_and_parse_back() {
+        let path = tmpfile("frame");
         let j = Journal::open(&path).unwrap();
-        j.job("fig3-n64-center-ht5-s0", "fig3", 2, false, true, 0.25, None);
+        j.job_done(
+            "fig3-n64-center-ht5-s0",
+            "fig3",
+            2,
+            false,
+            true,
+            true,
+            0.25,
+            None,
+        );
         j.stage("assemble", 0.01);
         j.record("run_end", vec![("ok", Value::Bool(true))]);
         let text = fs::read_to_string(&path).unwrap();
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), 3);
         for line in &lines {
-            let v = crate::json::parse(line).expect("valid json");
+            assert!(line.starts_with("v2|"), "v2 framing expected: {line}");
+            let v = Journal::parse_line(line).expect("valid framed record");
             assert!(v.get("event").is_some());
             assert!(v.get("ts_ms").is_some());
+            assert_eq!(v.get("epoch"), Some(&Value::Int(1)));
         }
         assert_eq!(
-            crate::json::parse(lines[0]).unwrap().get("worker"),
+            Journal::parse_line(lines[0]).unwrap().get("worker"),
             Some(&Value::Int(2))
         );
         let _ = fs::remove_file(&path);
@@ -192,26 +413,62 @@ mod tests {
     }
 
     #[test]
-    fn read_back_tolerates_a_truncated_trailing_line() {
-        let path =
-            std::env::temp_dir().join(format!("htpb-journal-trunc-{}.jsonl", std::process::id()));
-        let _ = fs::remove_file(&path);
+    fn epoch_counts_run_starts_across_reopens() {
+        let path = tmpfile("epoch");
+        {
+            let j = Journal::open(&path).unwrap();
+            assert_eq!(j.epoch(), 1);
+            j.record("run_start", vec![("run", Value::Str("x".into()))]);
+            j.record("run_end", vec![]);
+        }
+        {
+            let j = Journal::open(&path).unwrap();
+            assert_eq!(j.epoch(), 2, "second run is epoch 2");
+            j.record("run_start", vec![("run", Value::Str("x".into()))]);
+        }
         let j = Journal::open(&path).unwrap();
-        j.job("fig3-a", "fig3", 0, false, true, 0.1, None);
-        j.job("fig3-b", "fig3", 0, false, false, 0.1, Some("boom"));
+        assert_eq!(j.epoch(), 3);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn read_back_tolerates_a_truncated_trailing_line() {
+        let path = tmpfile("trunc");
+        let j = Journal::open(&path).unwrap();
+        j.job_done("fig3-a", "fig3", 0, false, true, true, 0.1, None);
+        j.job_done("fig3-b", "fig3", 0, false, false, false, 0.1, Some("boom"));
         drop(j);
-        // Simulate a writer killed mid-line: append half a JSON object.
+        // Simulate a writer killed mid-line: append half a framed record.
         let mut text = fs::read_to_string(&path).unwrap();
-        text.push_str("{\"event\":\"job\",\"id\":\"fig3-c\",\"ok\":tr");
+        text.push_str("v2|64|0123456789abcdef|{\"event\":\"job_done\",\"id\":\"fig3-c\",\"ok\":tr");
         fs::write(&path, text).unwrap();
 
-        let events = Journal::read_events(&path).unwrap();
+        let (events, corrupt) = Journal::read_events_stats(&path).unwrap();
         assert_eq!(events.len(), 2, "the corrupt tail is skipped, not fatal");
+        assert_eq!(corrupt, 1);
         assert_eq!(
             Journal::completed_job_ids(&path).unwrap(),
             vec!["fig3-a".to_string()],
             "only ok jobs count as completed"
         );
+        let _ = fs::remove_file(&path);
+    }
+
+    /// A checksum mismatch (bit rot, not just truncation) is also caught —
+    /// the v1 format would have parsed a bit-flipped-but-valid-JSON line.
+    #[test]
+    fn checksum_mismatch_is_detected() {
+        let path = tmpfile("bitrot");
+        let j = Journal::open(&path).unwrap();
+        j.job_done("fig3-a", "fig3", 0, false, true, true, 0.1, None);
+        drop(j);
+        let text = fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"ok\":true"));
+        // Flip payload bytes without touching the frame.
+        fs::write(&path, text.replace("\"ok\":true", "\"ok\":tttt")).unwrap();
+        let (events, corrupt) = Journal::read_events_stats(&path).unwrap();
+        assert!(events.is_empty(), "doctored record must not parse");
+        assert_eq!(corrupt, 1);
         let _ = fs::remove_file(&path);
     }
 
@@ -222,21 +479,16 @@ mod tests {
     /// suffix behind a torn write, and never fails the resume.
     #[test]
     fn read_back_tolerates_a_corrupt_line_mid_file() {
-        let path =
-            std::env::temp_dir().join(format!("htpb-journal-midfile-{}.jsonl", std::process::id()));
-        let _ = fs::remove_file(&path);
+        let path = tmpfile("midfile");
         let j = Journal::open(&path).unwrap();
-        j.job("fig3-a", "fig3", 0, false, true, 0.1, None);
+        j.job_done("fig3-a", "fig3", 0, false, true, true, 0.1, None);
         drop(j);
-        // A torn write in the middle of the file (e.g. two processes racing
-        // on a journal without the mutex, or disk corruption)...
         let mut text = fs::read_to_string(&path).unwrap();
-        text.push_str("{\"event\":\"job\",\"id\":\"fig3-lost\",\"ok\":tru\u{0}garbage\n");
+        text.push_str("v2|12|deadbeefdeadbeef|{\"event\":\u{0}garbage\n");
         fs::write(&path, text).unwrap();
-        // ...followed by a healthy writer appending more completions.
         let j = Journal::open(&path).unwrap();
-        j.job("fig3-b", "fig3", 0, false, true, 0.1, None);
-        j.job("fig3-c", "fig3", 0, false, false, 0.1, Some("boom"));
+        j.job_done("fig3-b", "fig3", 0, false, true, true, 0.1, None);
+        j.job_done("fig3-c", "fig3", 0, false, false, false, 0.1, Some("boom"));
         drop(j);
 
         let events = Journal::read_events(&path).unwrap();
@@ -244,9 +496,90 @@ mod tests {
         assert_eq!(
             Journal::completed_job_ids(&path).unwrap(),
             vec!["fig3-a".to_string(), "fig3-b".to_string()],
-            "completions after the corrupt line are not lost; the corrupt \
-             job itself is treated as never-completed (it will re-run)"
+            "completions after the corrupt line are not lost"
         );
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn v1_journals_still_replay() {
+        let path = tmpfile("v1");
+        // Exactly what the pre-framing Journal wrote: bare JSON lines with
+        // `job` completion events and no epoch field.
+        fs::write(
+            &path,
+            concat!(
+                "{\"event\":\"run_start\",\"ts_ms\":1,\"run\":\"repro_all\",\"jobs\":2}\n",
+                "{\"event\":\"job\",\"ts_ms\":2,\"id\":\"fig3-a\",\"kind\":\"fig3\",\
+                 \"worker\":0,\"cache_hit\":false,\"ok\":true,\"secs\":0.1}\n",
+                "{\"event\":\"job\",\"ts_ms\":3,\"id\":\"fig3-b\",\"kind\":\"fig3\",\
+                 \"worker\":0,\"cache_hit\":false,\"ok\":false,\"secs\":0.1,\
+                 \"error\":\"boom\"}\n",
+                "{\"event\":\"run_end\",\"ts_ms\":4,\"ok\":false}\n",
+            ),
+        )
+        .unwrap();
+        let events = Journal::read_events(&path).unwrap();
+        assert_eq!(events.len(), 4, "every v1 line parses");
+        assert_eq!(
+            Journal::completed_job_ids(&path).unwrap(),
+            vec!["fig3-a".to_string()],
+            "v1 `job` events count as completions"
+        );
+        assert!(
+            Journal::interrupted_job_ids(&path).unwrap().is_empty(),
+            "v1 journals have no job_start, so nothing reads as interrupted"
+        );
+        // A v2 writer appends to the same file and the mix reads back.
+        let j = Journal::open(&path).unwrap();
+        assert_eq!(j.epoch(), 2, "the v1 run counts toward the epoch");
+        j.job_done("fig3-b", "fig3", 0, false, true, true, 0.1, None);
+        drop(j);
+        assert_eq!(
+            Journal::completed_job_ids(&path).unwrap(),
+            vec!["fig3-a".to_string(), "fig3-b".to_string()]
+        );
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn interrupted_jobs_are_starts_without_dones() {
+        let path = tmpfile("interrupted");
+        let j = Journal::open(&path).unwrap();
+        j.job_start("job-a", "fig3", 0, 1);
+        j.job_done("job-a", "fig3", 0, false, true, true, 0.1, None);
+        j.job_start("job-b", "fig3", 1, 1);
+        j.job_start("job-c", "fig3", 0, 1);
+        drop(j); // killed here: b and c never finished
+        assert_eq!(
+            Journal::interrupted_job_ids(&path).unwrap(),
+            vec!["job-b".to_string(), "job-c".to_string()]
+        );
+        // The resumed epoch re-runs b; c stays interrupted until done.
+        let j = Journal::open(&path).unwrap();
+        j.job_start("job-b", "fig3", 0, 1);
+        j.job_done("job-b", "fig3", 0, false, true, true, 0.1, None);
+        drop(j);
+        assert_eq!(
+            Journal::interrupted_job_ids(&path).unwrap(),
+            vec!["job-c".to_string()]
+        );
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn artefact_digests_keep_the_latest_record_per_path() {
+        let path = tmpfile("artefact");
+        let j = Journal::open(&path).unwrap();
+        j.artefact("fig3_64.tsv", b"old bytes");
+        j.artefact("SUMMARY.txt", b"summary");
+        j.artefact("fig3_64.tsv", b"new bytes!");
+        drop(j);
+        let digests = Journal::artefact_digests(&path).unwrap();
+        assert_eq!(digests.len(), 2);
+        let fig3 = digests.iter().find(|(p, _, _)| p == "fig3_64.tsv").unwrap();
+        assert_eq!(fig3.1, 10);
+        assert_eq!(fig3.2, format!("{:016x}", fnv1a64(b"new bytes!")));
         let _ = fs::remove_file(&path);
     }
 

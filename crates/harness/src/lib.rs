@@ -15,9 +15,16 @@
 //! - [`BaselineCache`] — cross-job memoization of clean baseline
 //!   campaigns (in-process + on-disk), so per-point sweep jobs share one
 //!   baseline per configuration instead of recomputing it ([`baseline`]);
-//! - [`Journal`] — an append-only JSONL run journal at
-//!   `<outdir>/journal.jsonl` with per-job and per-stage timings
-//!   ([`journal`]);
+//! - [`Journal`] — an append-only, checksummed run journal at
+//!   `<outdir>/journal.jsonl` with per-job lifecycle events and per-stage
+//!   timings ([`journal`]);
+//! - [`commit_file`] / [`commit_append`] — the durable-write choke points
+//!   (tmp + fsync + rename + dir-fsync) every artefact, cache entry and
+//!   journal record goes through, over an injectable [`Fs`] so tests can
+//!   schedule `ENOSPC`, short writes and torn renames ([`fs`]);
+//! - [`Campaign`] — crash-safe campaign lifecycle: journal-driven
+//!   recovery of interrupted jobs, checkpointed resume, durable artefact
+//!   emission and post-run verification ([`campaign`]);
 //! - [`run_repro`] / [`run_repro_sequential`] — the whole `repro_all`
 //!   campaign planned as jobs, plus the legacy sequential reference path
 //!   ([`repro`]);
@@ -35,7 +42,9 @@
 
 pub mod baseline;
 pub mod cache;
+pub mod campaign;
 pub mod cli;
+pub mod fs;
 pub mod hash;
 pub mod job;
 pub mod journal;
@@ -46,11 +55,13 @@ pub mod runner;
 
 pub use baseline::BaselineCache;
 pub use cache::{ResultCache, SCHEMA_VERSION};
+pub use campaign::{verify_artefacts, Campaign, VerifyReport};
 pub use cli::HarnessArgs;
+pub use fs::{commit_append, commit_file, std_fs, FaultyFs, Fs, FsFault, StdFs};
 pub use job::{CampaignScale, Fig4Strategy, JobOutput, JobSpec};
 pub use journal::Journal;
 pub use repro::{
     cache_for, ensure_outdir, run_repro, run_repro_sequential, ReproOutcome, ReproPlan, ReproScale,
 };
 pub use resilience::{run_resilience_plan, run_resilience_sweep, ResiliencePlan};
-pub use runner::{run_jobs, JobReport, RunOptions};
+pub use runner::{retry_delay_ms, run_jobs, JobReport, RunOptions};

@@ -9,7 +9,6 @@
 //! property `integration_harness.rs` locks in.
 
 use std::fmt::Write as _;
-use std::fs;
 use std::io;
 use std::path::Path;
 use std::time::Instant;
@@ -23,10 +22,11 @@ use htpb_core::Series;
 use htpb_trojan::AreaReport;
 
 use crate::cache::ResultCache;
+use crate::campaign::Campaign;
+use crate::fs::std_fs;
 use crate::job::{CampaignScale, Fig4Strategy, JobOutput, JobSpec};
-use crate::journal::Journal;
 use crate::json::Value;
-use crate::runner::{run_jobs, JobReport, RunOptions};
+use crate::runner::{JobReport, RunOptions};
 
 /// Campaign scale of a reproduction run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -480,41 +480,26 @@ pub struct ReproOutcome {
 /// writer (cache, journal, TSV emitter, binaries) goes through before its
 /// first write.
 pub fn ensure_outdir(outdir: &Path) -> io::Result<()> {
-    fs::create_dir_all(outdir)
+    std_fs().create_dir_all(outdir)
 }
 
 /// Runs the full reproduction through the job pool: cached, journalled,
 /// parallel and resumable. With a warm cache (or after an interrupted
-/// run), only missing points execute.
+/// run), only missing points execute: [`Campaign::start`] distrusts and
+/// re-runs jobs the journal shows as started-but-died, and serves
+/// committed ones from cache, recovering byte-identical artefacts from
+/// any crash point.
 pub fn run_repro(scale: ReproScale, outdir: &Path, opts: &RunOptions) -> io::Result<ReproOutcome> {
-    ensure_outdir(outdir)?;
-    let journal_path = outdir.join("journal.jsonl");
-    // Resume note: the read-back tolerates the corrupt/truncated trailing
-    // line a killed run can leave, so an interrupted campaign always
-    // restarts cleanly (the cache, not the journal, decides what reruns).
-    if opts.cache.is_some() {
-        if let Ok(prior) = Journal::completed_job_ids(&journal_path) {
-            if !prior.is_empty() {
-                eprintln!(
-                    "[harness] resuming: journal already records {} completed job(s)",
-                    prior.len()
-                );
-            }
-        }
-    }
-    let journal = Journal::open(&journal_path)?;
     let plan = ReproPlan::plan(scale);
-    journal.record(
-        "run_start",
-        vec![
-            ("run", Value::Str("repro_all".into())),
-            ("scale", Value::Str(scale.label().into())),
-            ("workers", Value::Int(opts.workers as i64)),
-            ("jobs", Value::Int(plan.jobs.len() as i64)),
-        ],
-    );
-    let started = Instant::now();
-    let reports = run_jobs(&plan.jobs, opts, &journal);
+    let campaign = Campaign::start(
+        "repro_all",
+        outdir,
+        &plan.jobs,
+        opts,
+        std_fs(),
+        vec![("scale", Value::Str(scale.label().into()))],
+    )?;
+    let reports = campaign.execute(&plan.jobs, opts);
     let cache_hits = reports.iter().filter(|r| r.cache_hit).count();
     let baseline_hits = reports.iter().filter(|r| r.baseline == Some(true)).count();
     let baseline_misses = reports.iter().filter(|r| r.baseline == Some(false)).count();
@@ -523,8 +508,8 @@ pub fn run_repro(scale: ReproScale, outdir: &Path, opts: &RunOptions) -> io::Res
     let summary = match plan.assemble(&reports) {
         Ok(artefacts) => {
             let t0 = Instant::now();
-            let summary = emit(&artefacts, scale, outdir)?;
-            journal.stage("assemble", t0.elapsed().as_secs_f64());
+            let summary = emit(&artefacts, scale, &campaign)?;
+            campaign.stage("assemble", t0.elapsed().as_secs_f64());
             summary
         }
         Err(failed_ids) => {
@@ -536,16 +521,13 @@ pub fn run_repro(scale: ReproScale, outdir: &Path, opts: &RunOptions) -> io::Res
             for id in &failed_ids {
                 let _ = writeln!(summary, "failed: {id}");
             }
-            fs::write(outdir.join("SUMMARY.txt"), &summary)?;
+            campaign.emit_artefact("SUMMARY.txt", summary.as_bytes())?;
             summary
         }
     };
-    journal.record(
-        "run_end",
+    campaign.finish(
+        failed == 0,
         vec![
-            ("run", Value::Str("repro_all".into())),
-            ("secs", Value::Num(started.elapsed().as_secs_f64())),
-            ("ok", Value::Bool(failed == 0)),
             ("failed", Value::Int(failed as i64)),
             ("cache_hits", Value::Int(cache_hits as i64)),
             ("baseline_hits", Value::Int(baseline_hits as i64)),
@@ -566,24 +548,21 @@ pub fn run_repro(scale: ReproScale, outdir: &Path, opts: &RunOptions) -> io::Res
 /// (whole series at a time, shared clean baselines, no cache). The
 /// reference implementation the harness path is byte-compared against.
 pub fn run_repro_sequential(scale: ReproScale, outdir: &Path) -> io::Result<ReproOutcome> {
-    ensure_outdir(outdir)?;
-    let journal = Journal::open(&outdir.join("journal.jsonl"))?;
-    journal.record(
-        "run_start",
-        vec![
-            ("run", Value::Str("repro_all_sequential".into())),
-            ("scale", Value::Str(scale.label().into())),
-            ("workers", Value::Int(1)),
-            ("jobs", Value::Int(0)),
-        ],
-    );
-    let started = Instant::now();
+    let opts = RunOptions::sequential();
+    let campaign = Campaign::start(
+        "repro_all_sequential",
+        outdir,
+        &[],
+        &opts,
+        std_fs(),
+        vec![("scale", Value::Str(scale.label().into()))],
+    )?;
     let staged = |label: &str, f: &mut dyn FnMut()| {
         let t0 = Instant::now();
         f();
         let secs = t0.elapsed().as_secs_f64();
         println!("[{label}: {secs:.1}s]");
-        journal.stage(label, secs);
+        campaign.stage(label, secs);
     };
 
     let seeds = scale.fig34_seeds();
@@ -685,16 +664,10 @@ pub fn run_repro_sequential(scale: ReproScale, outdir: &Path) -> io::Result<Repr
         opt,
         samples,
     };
-    let summary = emit(&artefacts, scale, outdir)?;
-    journal.record(
-        "run_end",
-        vec![
-            ("run", Value::Str("repro_all_sequential".into())),
-            ("secs", Value::Num(started.elapsed().as_secs_f64())),
-            ("ok", Value::Bool(true)),
-            ("failed", Value::Int(0)),
-            ("cache_hits", Value::Int(0)),
-        ],
+    let summary = emit(&artefacts, scale, &campaign)?;
+    campaign.finish(
+        true,
+        vec![("failed", Value::Int(0)), ("cache_hits", Value::Int(0))],
     );
     Ok(ReproOutcome {
         summary,
@@ -708,8 +681,10 @@ pub fn run_repro_sequential(scale: ReproScale, outdir: &Path) -> io::Result<Repr
 
 /// Writes every artefact file and returns the summary text. This is the
 /// single emission path both reproduction modes share, preserving the
-/// historical `repro_all` output format line for line.
-fn emit(artefacts: &Artefacts, scale: ReproScale, outdir: &Path) -> io::Result<String> {
+/// historical `repro_all` output format line for line. All files go out
+/// through [`Campaign::emit_artefact`]: durably committed and journalled
+/// with their digests.
+fn emit(artefacts: &Artefacts, scale: ReproScale, campaign: &Campaign) -> io::Result<String> {
     let mut summary = String::new();
     let mut note = |line: String| {
         println!("{line}");
@@ -721,7 +696,7 @@ fn emit(artefacts: &Artefacts, scale: ReproScale, outdir: &Path) -> io::Result<S
         for s in series {
             out.push_str(&s.to_table());
         }
-        fs::write(outdir.join(format!("{name}.tsv")), out)
+        campaign.emit_artefact(&format!("{name}.tsv"), out.as_bytes())
     };
 
     note(format!("== full reproduction run ({}) ==", scale.label()));
@@ -787,7 +762,7 @@ fn emit(artefacts: &Artefacts, scale: ReproScale, outdir: &Path) -> io::Result<S
         chip.trojan_area_um2(),
         chip.trojan_power_uw()
     ));
-    fs::write(outdir.join("table_area.tsv"), format!("{one}\n{chip}\n"))?;
+    campaign.emit_artefact("table_area.tsv", format!("{one}\n{chip}\n").as_bytes())?;
 
     let mut rows = String::new();
     for (mix, cmp) in &artefacts.opt {
@@ -808,7 +783,7 @@ fn emit(artefacts: &Artefacts, scale: ReproScale, outdir: &Path) -> io::Result<S
             cmp.improvement
         );
     }
-    fs::write(outdir.join("opt_placement.tsv"), rows)?;
+    campaign.emit_artefact("opt_placement.tsv", rows.as_bytes())?;
 
     let model = AttackModel::fit(&artefacts.samples).expect("well-conditioned dataset");
     note(format!(
@@ -827,17 +802,17 @@ fn emit(artefacts: &Artefacts, scale: ReproScale, outdir: &Path) -> io::Result<S
             s.rho, s.eta, s.m, s.phi_victims, s.phi_attackers, s.q
         );
     }
-    fs::write(outdir.join("regression.tsv"), rows)?;
+    campaign.emit_artefact("regression.tsv", rows.as_bytes())?;
 
-    write_gnuplot(outdir)?;
+    write_gnuplot(campaign)?;
     note("== done; series written to results/*.tsv (plot with gnuplot results/plot.gp) ==".into());
-    fs::write(outdir.join("SUMMARY.txt"), &summary)?;
+    campaign.emit_artefact("SUMMARY.txt", summary.as_bytes())?;
     Ok(summary)
 }
 
 /// Emits the gnuplot script that renders every regenerated figure from the
 /// TSV series into `results/figures.png`.
-fn write_gnuplot(outdir: &Path) -> io::Result<()> {
+fn write_gnuplot(campaign: &Campaign) -> io::Result<()> {
     let script = r#"# Render the reproduced figures: gnuplot results/plot.gp
 set terminal pngcairo size 1400,1000
 set output 'results/figures.png'
@@ -871,7 +846,7 @@ plot 'results/fig6_mix-4.tsv' index 0 title 'attacker 0',      'results/fig6_mix
 
 unset multiplot
 "#;
-    fs::write(outdir.join("plot.gp"), script)
+    campaign.emit_artefact("plot.gp", script.as_bytes())
 }
 
 /// Convenience: the default cache for an output directory, honouring

@@ -16,7 +16,6 @@
 //! byte-deterministic: same plan, same artefacts.
 
 use std::fmt::Write as _;
-use std::fs;
 use std::io;
 use std::path::Path;
 use std::time::Instant;
@@ -24,11 +23,12 @@ use std::time::Instant;
 use htpb_attack::Mix;
 use htpb_core::AllocatorKind;
 
+use crate::campaign::Campaign;
+use crate::fs::std_fs;
 use crate::job::{CampaignScale, JobOutput, JobSpec};
-use crate::journal::Journal;
 use crate::json::Value;
-use crate::repro::{ensure_outdir, ReproOutcome, ReproScale};
-use crate::runner::{run_jobs, RunOptions};
+use crate::repro::{ReproOutcome, ReproScale};
+use crate::runner::RunOptions;
 
 /// Fault-plan seed shared by every cell of the standard sweep, so runs are
 /// reproducible and cells differ only in their declared parameters.
@@ -134,19 +134,15 @@ pub fn run_resilience_plan(
     outdir: &Path,
     opts: &RunOptions,
 ) -> io::Result<ReproOutcome> {
-    ensure_outdir(outdir)?;
-    let journal = Journal::open(&outdir.join("journal.jsonl"))?;
-    journal.record(
-        "run_start",
-        vec![
-            ("run", Value::Str("resilience_sweep".into())),
-            ("scale", Value::Str(label.into())),
-            ("workers", Value::Int(opts.workers as i64)),
-            ("jobs", Value::Int(plan.jobs.len() as i64)),
-        ],
-    );
-    let started = Instant::now();
-    let reports = run_jobs(&plan.jobs, opts, &journal);
+    let campaign = Campaign::start(
+        "resilience_sweep",
+        outdir,
+        &plan.jobs,
+        opts,
+        std_fs(),
+        vec![("scale", Value::Str(label.into()))],
+    )?;
+    let reports = campaign.execute(&plan.jobs, opts);
     let cache_hits = reports.iter().filter(|r| r.cache_hit).count();
     let failed = reports.iter().filter(|r| r.output.is_err()).count();
 
@@ -156,7 +152,7 @@ pub fn run_resilience_plan(
         for r in reports.iter().filter(|r| r.output.is_err()) {
             let _ = writeln!(summary, "failed: {}", r.spec.id());
         }
-        fs::write(outdir.join("RESILIENCE.txt"), &summary)?;
+        campaign.emit_artefact("RESILIENCE.txt", summary.as_bytes())?;
         summary
     } else {
         let mut rows = Vec::with_capacity(reports.len());
@@ -200,17 +196,14 @@ pub fn run_resilience_plan(
             });
         }
         let t0 = Instant::now();
-        let summary = emit(&rows, label, outdir)?;
-        journal.stage("assemble", t0.elapsed().as_secs_f64());
+        let summary = emit(&rows, label, &campaign)?;
+        campaign.stage("assemble", t0.elapsed().as_secs_f64());
         summary
     };
 
-    journal.record(
-        "run_end",
+    campaign.finish(
+        failed == 0,
         vec![
-            ("run", Value::Str("resilience_sweep".into())),
-            ("secs", Value::Num(started.elapsed().as_secs_f64())),
-            ("ok", Value::Bool(failed == 0)),
             ("failed", Value::Int(failed as i64)),
             ("cache_hits", Value::Int(cache_hits as i64)),
         ],
@@ -227,10 +220,10 @@ pub fn run_resilience_plan(
     })
 }
 
-/// Writes `resilience.tsv` and `RESILIENCE.txt`, returning the summary
-/// text. Pure function of the rows, so equal results give byte-identical
-/// artefacts.
-fn emit(rows: &[Row], label: &str, outdir: &Path) -> io::Result<String> {
+/// Writes `resilience.tsv` and `RESILIENCE.txt` through the campaign's
+/// durable artefact path, returning the summary text. Pure function of
+/// the rows, so equal results give byte-identical artefacts.
+fn emit(rows: &[Row], label: &str, campaign: &Campaign) -> io::Result<String> {
     let mut tsv = String::from(
         "# allocator\tdrop_ppm\thardened\tduty\tinfection\tQ\tvictim_theta\t\
          baseline_victim_theta\ttimeouts\trejects\tclamps\tfaults_applied\n",
@@ -253,7 +246,7 @@ fn emit(rows: &[Row], label: &str, outdir: &Path) -> io::Result<String> {
             r.faults_applied
         );
     }
-    fs::write(outdir.join("resilience.tsv"), &tsv)?;
+    campaign.emit_artefact("resilience.tsv", tsv.as_bytes())?;
 
     let mut summary = String::new();
     let mut note = |line: String| {
@@ -349,13 +342,14 @@ fn emit(rows: &[Row], label: &str, outdir: &Path) -> io::Result<String> {
         "== done; {} cells written to resilience.tsv ==",
         rows.len()
     ));
-    fs::write(outdir.join("RESILIENCE.txt"), &summary)?;
+    campaign.emit_artefact("RESILIENCE.txt", summary.as_bytes())?;
     Ok(summary)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::fs;
 
     fn tmpdir(tag: &str) -> std::path::PathBuf {
         let dir =

@@ -13,8 +13,24 @@
 //! With [`RunOptions::job_timeout`] set, each job additionally runs on a
 //! detached thread bounded by a wall-clock limit: a hung scenario times
 //! out (leaking its thread rather than wedging the pool), is retried up to
-//! [`RunOptions::retries`] times, and finally records a failure. Timeouts
-//! and retries land in the journal as `job_timeout` / `job_retry` events.
+//! [`RunOptions::retries`] times, and finally records a failure. Retries
+//! back off exponentially with a deterministic, seed-derived jitter
+//! (`FNV(seed, job id, attempt)`), so retry timing is reproducible from
+//! the journal alone. Timeouts and retries land in the journal as
+//! `job_timeout` / `job_retry` events (the latter carries the computed
+//! `delay_ms`).
+//!
+//! ## Crash-safety contract
+//!
+//! Every *executed* attempt is bracketed by journal `job_start` /
+//! `job_done` records (cache hits skip `job_start` — nothing ran). The
+//! cache store happens **before** `job_done`, so by the time a completion
+//! is journalled the result is durable; a crash between the two re-runs
+//! the job (`job_start` without `job_done`), which is safe because
+//! recovery also distrusts its cache entry. `job_done` carries
+//! `"cached":true` only when the result is durably in the cache — the
+//! predicate under which a resumed campaign promises never to re-execute
+//! the job.
 
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -24,6 +40,7 @@ use std::time::{Duration, Instant};
 
 use crate::baseline::BaselineCache;
 use crate::cache::ResultCache;
+use crate::hash::fnv1a64_parts;
 use crate::job::{JobOutput, JobSpec};
 use crate::journal::Journal;
 use crate::json::Value;
@@ -43,9 +60,15 @@ pub struct RunOptions {
     /// Per-job wall-clock limit; `None` (the default) lets jobs run
     /// unbounded on the worker thread itself.
     pub job_timeout: Option<Duration>,
-    /// How many times a timed-out job is retried before it is recorded as
-    /// failed (`--retries`, default 1).
+    /// How many times a timed-out or failed job is retried before it is
+    /// recorded as failed (`--retries`, default 1).
     pub retries: u32,
+    /// Seed folded into the deterministic retry-backoff jitter.
+    pub retry_seed: u64,
+    /// Base backoff unit in milliseconds: retry `n` sleeps
+    /// `base * 2^(n-1) + FNV(seed, id, n) % base`. `0` disables backoff
+    /// (immediate re-queue, the pre-backoff behaviour).
+    pub retry_base_ms: u64,
 }
 
 impl RunOptions {
@@ -59,6 +82,8 @@ impl RunOptions {
             progress: false,
             job_timeout: None,
             retries: 1,
+            retry_seed: 0,
+            retry_base_ms: 25,
         }
     }
 
@@ -68,6 +93,20 @@ impl RunOptions {
     pub fn default_workers() -> usize {
         thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
     }
+}
+
+/// The deterministic backoff delay before retry `attempt` (1-based) of
+/// `job_id`: exponential in the attempt with an FNV-derived jitter, so two
+/// workers retrying the same moment spread out, yet the schedule is fully
+/// reproducible from (seed, id, attempt).
+#[must_use]
+pub fn retry_delay_ms(seed: u64, job_id: &str, attempt: u32, base_ms: u64) -> u64 {
+    if base_ms == 0 {
+        return 0;
+    }
+    let shift = (attempt.saturating_sub(1)).min(10);
+    let jitter = fnv1a64_parts(&[&seed.to_string(), job_id, &attempt.to_string()]) % base_ms;
+    base_ms.saturating_mul(1 << shift).saturating_add(jitter)
 }
 
 /// The outcome of one job.
@@ -101,6 +140,17 @@ impl JobReport {
     }
 }
 
+/// One attempt's result, private to the retry loop.
+struct Attempt {
+    output: Result<JobOutput, String>,
+    cache_hit: bool,
+    baseline: Option<bool>,
+    timed_out: bool,
+    /// The result is durably committed to the result cache (a hit, or a
+    /// successful store).
+    cached: bool,
+}
+
 /// Executes `jobs` on the pool and returns one report per job, in job
 /// order. Journal entries are appended as jobs complete (completion
 /// order); pass [`Journal::disabled`] to skip journalling.
@@ -126,18 +176,19 @@ pub fn run_jobs(jobs: &[JobSpec], opts: &RunOptions, journal: &Journal) -> Vec<J
                 }
                 let spec = &jobs[i];
                 let t0 = Instant::now();
-                let (output, cache_hit, baseline) = execute_with_retries(spec, opts, journal);
+                let attempt = execute_with_retries(spec, opts, journal, worker);
                 let secs = t0.elapsed().as_secs_f64();
-                journal.job(
+                journal.job_done(
                     &spec.id(),
                     spec.kind(),
                     worker,
-                    cache_hit,
-                    output.is_ok(),
+                    attempt.cache_hit,
+                    attempt.cached,
+                    attempt.output.is_ok(),
                     secs,
-                    output.as_ref().err().map(String::as_str),
+                    attempt.output.as_ref().err().map(String::as_str),
                 );
-                if let Some(hit) = baseline {
+                if let Some(hit) = attempt.baseline {
                     journal.record(
                         if hit { "baseline_hit" } else { "baseline_miss" },
                         vec![("id", Value::Str(spec.id()))],
@@ -145,13 +196,13 @@ pub fn run_jobs(jobs: &[JobSpec], opts: &RunOptions, journal: &Journal) -> Vec<J
                 }
                 *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(JobReport {
                     spec: spec.clone(),
-                    output,
-                    cache_hit,
-                    baseline,
+                    output: attempt.output,
+                    cache_hit: attempt.cache_hit,
+                    baseline: attempt.baseline,
                     secs,
                     worker,
                 });
-                if cache_hit {
+                if attempt.cache_hit {
                     hits.fetch_add(1, Ordering::Relaxed);
                 }
                 let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
@@ -179,27 +230,24 @@ pub fn run_jobs(jobs: &[JobSpec], opts: &RunOptions, journal: &Journal) -> Vec<J
 /// is journalled (`job_timeout`) and retried (`job_retry`) until the retry
 /// budget runs out; a failed (panicking) attempt is likewise retried — a
 /// crashed worker machine and a hung one are the same event to a campaign.
-/// The final attempt's outcome is returned. Cache hits are never retried
-/// (they are `Ok` by construction).
+/// Each retry sleeps the deterministic [`retry_delay_ms`] first. The final
+/// attempt's outcome is returned. Cache hits are never retried (they are
+/// `Ok` by construction).
 fn execute_with_retries(
     spec: &JobSpec,
     opts: &RunOptions,
     journal: &Journal,
-) -> (Result<JobOutput, String>, bool, Option<bool>) {
-    let mut attempt: u32 = 0;
+    worker: usize,
+) -> Attempt {
+    let mut retry: u32 = 0;
     loop {
-        let (output, cache_hit, baseline, timed_out) = execute_one(
-            spec,
-            opts.cache.as_ref(),
-            opts.baselines.as_ref(),
-            opts.job_timeout,
-        );
-        if timed_out {
+        let attempt = execute_one(spec, opts, journal, worker, retry + 1);
+        if attempt.timed_out {
             journal.record(
                 "job_timeout",
                 vec![
                     ("id", Value::Str(spec.id())),
-                    ("attempt", Value::Int(i64::from(attempt) + 1)),
+                    ("attempt", Value::Int(i64::from(retry) + 1)),
                     (
                         "limit_secs",
                         Value::Num(opts.job_timeout.map_or(0.0, |d| d.as_secs_f64())),
@@ -207,38 +255,54 @@ fn execute_with_retries(
                 ],
             );
         }
-        let retryable = timed_out || (!cache_hit && output.is_err());
-        if retryable && attempt < opts.retries {
-            attempt += 1;
+        let retryable = attempt.timed_out || (!attempt.cache_hit && attempt.output.is_err());
+        if retryable && retry < opts.retries {
+            retry += 1;
+            let delay_ms = retry_delay_ms(opts.retry_seed, &spec.id(), retry, opts.retry_base_ms);
             journal.record(
                 "job_retry",
                 vec![
                     ("id", Value::Str(spec.id())),
-                    ("attempt", Value::Int(i64::from(attempt) + 1)),
+                    ("attempt", Value::Int(i64::from(retry) + 1)),
+                    ("delay_ms", Value::Int(delay_ms as i64)),
                 ],
             );
+            if delay_ms > 0 {
+                thread::sleep(Duration::from_millis(delay_ms));
+            }
             continue;
         }
-        return (output, cache_hit, baseline);
+        return attempt;
     }
 }
 
-/// Runs one attempt. The last return flags a wall-clock timeout (the
-/// caller decides whether to retry); the `Option<bool>` reports
-/// baseline-cache use exactly as [`JobSpec::execute_with`] does.
+/// Runs one attempt. An *executed* attempt (anything past the cache
+/// check) is announced with a journal `job_start` first, so a crash
+/// mid-execution leaves the start/done pair visibly unbalanced.
 fn execute_one(
     spec: &JobSpec,
-    cache: Option<&ResultCache>,
-    baselines: Option<&Arc<BaselineCache>>,
-    timeout: Option<Duration>,
-) -> (Result<JobOutput, String>, bool, Option<bool>, bool) {
+    opts: &RunOptions,
+    journal: &Journal,
+    worker: usize,
+    attempt: u32,
+) -> Attempt {
+    let cache = opts.cache.as_ref();
+    let baselines = opts.baselines.as_ref();
     if let Some(cache) = cache {
         if let Some(output) = cache.load(spec) {
-            // A result-cache hit never touches the baseline layer.
-            return (Ok(output), true, None, false);
+            // A result-cache hit never touches the baseline layer, and
+            // never re-executes: no job_start.
+            return Attempt {
+                output: Ok(output),
+                cache_hit: true,
+                baseline: None,
+                timed_out: false,
+                cached: true,
+            };
         }
     }
-    let result = match timeout {
+    journal.job_start(&spec.id(), spec.kind(), worker, attempt);
+    let result = match opts.job_timeout {
         None => panic::catch_unwind(AssertUnwindSafe(|| {
             spec.execute_with(baselines.map(Arc::as_ref))
         }))
@@ -270,12 +334,13 @@ fn execute_one(
                 Ok(_) => match rx.recv_timeout(limit) {
                     Ok(r) if started.elapsed() <= limit => r,
                     Ok(_) | Err(_) => {
-                        return (
-                            Err(format!("timed out after {:.1}s", limit.as_secs_f64())),
-                            false,
-                            None,
-                            true,
-                        )
+                        return Attempt {
+                            output: Err(format!("timed out after {:.1}s", limit.as_secs_f64())),
+                            cache_hit: false,
+                            baseline: None,
+                            timed_out: true,
+                            cached: false,
+                        }
                     }
                 },
             }
@@ -283,17 +348,34 @@ fn execute_one(
     };
     match result {
         Ok((output, baseline)) => {
+            // Commit the result BEFORE job_done is journalled: once a
+            // completion is visible in the journal, the bytes backing it
+            // are already durable.
+            let mut cached = false;
             if let Some(cache) = cache {
-                if let Err(e) = cache.store(spec, &output) {
-                    eprintln!(
+                match cache.store(spec, &output) {
+                    Ok(()) => cached = true,
+                    Err(e) => eprintln!(
                         "[harness] warning: cache write for {} failed: {e}",
                         spec.id()
-                    );
+                    ),
                 }
             }
-            (Ok(output), false, baseline, false)
+            Attempt {
+                output: Ok(output),
+                cache_hit: false,
+                baseline,
+                timed_out: false,
+                cached,
+            }
         }
-        Err(e) => (Err(e), false, None, false),
+        Err(e) => Attempt {
+            output: Err(e),
+            cache_hit: false,
+            baseline: None,
+            timed_out: false,
+            cached: false,
+        },
     }
 }
 
@@ -353,6 +435,30 @@ mod tests {
     }
 
     #[test]
+    fn retry_delay_is_deterministic_exponential_and_jittered() {
+        let d1 = retry_delay_ms(7, "fig3-a", 1, 25);
+        let d2 = retry_delay_ms(7, "fig3-a", 2, 25);
+        let d3 = retry_delay_ms(7, "fig3-a", 3, 25);
+        assert_eq!(d1, retry_delay_ms(7, "fig3-a", 1, 25), "reproducible");
+        // Exponential envelope: base*2^(n-1) <= delay < base*2^(n-1)+base.
+        assert!((25..50).contains(&d1), "{d1}");
+        assert!((50..75).contains(&d2), "{d2}");
+        assert!((100..125).contains(&d3), "{d3}");
+        // Jitter separates jobs and seeds.
+        assert_ne!(
+            retry_delay_ms(7, "fig3-a", 1, 1000),
+            retry_delay_ms(7, "fig3-b", 1, 1000)
+        );
+        assert_ne!(
+            retry_delay_ms(7, "fig3-a", 1, 1000),
+            retry_delay_ms(8, "fig3-a", 1, 1000)
+        );
+        // base 0 disables backoff; the shift saturates far out.
+        assert_eq!(retry_delay_ms(7, "x", 5, 0), 0);
+        assert!(retry_delay_ms(7, "x", 40, 25) >= 25 * 1024);
+    }
+
+    #[test]
     fn baseline_cache_keeps_outputs_identical_and_journals_use() {
         use crate::job::CampaignScale;
         use htpb_attack::Mix;
@@ -391,6 +497,50 @@ mod tests {
         assert_eq!(text.matches("\"event\":\"baseline_miss\"").count(), 1);
         assert_eq!(text.matches("\"event\":\"baseline_hit\"").count(), 2);
         let _ = std::fs::remove_file(&journal_path);
+    }
+
+    #[test]
+    fn executed_jobs_bracket_start_and_done() {
+        let journal_path =
+            std::env::temp_dir().join(format!("htpb-runner-bracket-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&journal_path);
+        let journal = Journal::open(&journal_path).unwrap();
+        let jobs = tiny_jobs();
+        run_jobs(&jobs, &RunOptions::sequential(), &journal);
+        let text = std::fs::read_to_string(&journal_path).unwrap();
+        assert_eq!(text.matches("\"event\":\"job_start\"").count(), jobs.len());
+        assert_eq!(text.matches("\"event\":\"job_done\"").count(), jobs.len());
+        assert!(
+            Journal::interrupted_job_ids(&journal_path)
+                .unwrap()
+                .is_empty(),
+            "a clean run leaves no unbalanced starts"
+        );
+        // Cache hits skip job_start entirely.
+        let dir =
+            std::env::temp_dir().join(format!("htpb-runner-bracket-c-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = RunOptions {
+            cache: Some(ResultCache::open(&dir).unwrap()),
+            ..RunOptions::sequential()
+        };
+        run_jobs(&jobs, &opts, &Journal::disabled());
+        let hit_path =
+            std::env::temp_dir().join(format!("htpb-runner-bracket2-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&hit_path);
+        let hit_journal = Journal::open(&hit_path).unwrap();
+        let reports = run_jobs(&jobs, &opts, &hit_journal);
+        assert!(reports.iter().all(|r| r.cache_hit));
+        let text = std::fs::read_to_string(&hit_path).unwrap();
+        assert_eq!(text.matches("\"event\":\"job_start\"").count(), 0);
+        assert_eq!(
+            text.matches("\"cached\":true").count(),
+            jobs.len(),
+            "hits report the result as durably cached"
+        );
+        let _ = std::fs::remove_file(&journal_path);
+        let _ = std::fs::remove_file(&hit_path);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
@@ -465,6 +615,7 @@ mod tests {
                 workers: 2,
                 job_timeout: Some(Duration::from_nanos(1)),
                 retries: 1,
+                retry_base_ms: 1,
                 ..RunOptions::sequential()
             },
             &journal,
@@ -483,6 +634,11 @@ mod tests {
             "each job: initial attempt + one retry both time out\n{text}"
         );
         assert_eq!(retries, jobs.len(), "exactly one retry per job\n{text}");
+        assert_eq!(
+            text.matches("\"delay_ms\":").count(),
+            jobs.len(),
+            "every retry journals its computed backoff\n{text}"
+        );
         let _ = std::fs::remove_file(&path);
     }
 
@@ -503,6 +659,7 @@ mod tests {
             &jobs,
             &RunOptions {
                 retries: 1,
+                retry_base_ms: 1,
                 ..RunOptions::sequential()
             },
             &journal,
@@ -533,6 +690,11 @@ mod tests {
             text.matches("\"event\":\"job_timeout\"").count(),
             0,
             "a plain failure is not a timeout\n{text}"
+        );
+        assert_eq!(
+            text.matches("\"event\":\"job_start\"").count(),
+            2,
+            "both executed attempts announce a job_start\n{text}"
         );
         let _ = std::fs::remove_file(&marker);
         let _ = std::fs::remove_file(&journal_path);

@@ -59,7 +59,7 @@ fn parallel_cached_repro_is_byte_identical_to_sequential() {
     let journal = fs::read_to_string(par_dir.join("journal.jsonl")).unwrap();
     let job_lines = journal
         .lines()
-        .filter(|l| l.contains("\"event\":\"job\""))
+        .filter(|l| l.contains("\"event\":\"job_done\""))
         .count();
     assert_eq!(job_lines, outcome.jobs);
     assert!(journal.contains("\"event\":\"run_start\""));
