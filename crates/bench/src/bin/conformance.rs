@@ -10,18 +10,24 @@
 //! harness worker pool, so campaigns get the same journalling, retry and
 //! parallelism machinery as every other experiment job.
 //!
-//! Usage: `conformance [--smoke] [--scenarios N] [--seed S] [--jobs N] [--out DIR]`
+//! Usage: `conformance [--smoke] [--scenarios N] [--seed S] [--jobs N] [--out DIR] [--metrics]`
 //!   --smoke        200 scenarios (CI budget, well under a minute in release)
 //!   --scenarios N  explicit scenario count (default 1000)
 //!   --seed S       master seed (default 0x5EED)
 //!   --jobs N       worker threads for the random sweep (default 1)
 //!   --out DIR      output directory for the failure artifact (default results)
+//!   --metrics      collect runtime metrics and print the stderr summary
+//!
+//! Independently of `--metrics`, every corpus replay also runs the
+//! metrics-identity oracle: the scenario re-executes with live NoC metrics
+//! on and its fingerprints must equal the metrics-off ones (the
+//! observability layer's non-perturbation contract, docs/OBSERVABILITY.md).
 
 use std::io::Write as _;
 use std::path::PathBuf;
 
 use htpb_harness::{run_jobs, JobOutput, JobSpec, Journal, RunOptions};
-use htpb_testkit::{run_differential, DiffConfig, Scenario};
+use htpb_testkit::{run_differential, run_metrics_identity, DiffConfig, Scenario};
 
 fn parse_flag(args: &[String], flag: &str) -> Option<String> {
     args.iter()
@@ -32,6 +38,8 @@ fn parse_flag(args: &[String], flag: &str) -> Option<String> {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
+    let metrics = args.iter().any(|a| a == "--metrics");
+    htpb_obs::set_enabled(metrics);
     let count: u64 = parse_flag(&args, "--scenarios")
         .map(|v| v.parse().expect("--scenarios wants a number"))
         .unwrap_or(if smoke { 200 } else { 1000 });
@@ -53,6 +61,10 @@ fn main() {
     let mut failures: Vec<(String, String)> = Vec::new();
 
     // Phase 1: the regression corpus — every shrunk failure ever found.
+    // Each scenario replays through the differential oracle AND through the
+    // metrics-identity oracle (metrics-on vs metrics-off fingerprints must
+    // be bit-identical — the observability layer's non-perturbation
+    // contract).
     let corpus = include_str!("../../../testkit/corpus/conformance.txt");
     let mut corpus_n = 0u64;
     for line in corpus.lines().map(str::trim) {
@@ -72,6 +84,9 @@ fn main() {
         };
         if let Some(d) = run_differential(&scenario, &config) {
             failures.push((line.to_string(), format!("corpus replay diverged: {d}")));
+        }
+        if let Some(why) = run_metrics_identity(&scenario, &config) {
+            failures.push((line.to_string(), format!("metrics identity broken: {why}")));
         }
     }
     println!("corpus: {corpus_n} scenarios, {} failures", failures.len());
@@ -119,6 +134,9 @@ fn main() {
     }
     println!("random sweep: {passed}/{count} scenarios agreed (seed {seed:#x})");
 
+    if metrics {
+        eprint!("{}", htpb_harness::obs::summary_text());
+    }
     if failures.is_empty() {
         println!("conformance: PASS");
         return;

@@ -8,7 +8,7 @@
 //! injection on the paper's 16×16 platform, bursty hotspot (`POWER_REQ`)
 //! epochs with idle gaps, an all-to-center drain, and a fully idle mesh.
 //!
-//! Usage: `noc_perf [--smoke] [--json <out.json>] [--check <BENCH_noc.json>]`
+//! Usage: `noc_perf [--smoke] [--json <out.json>] [--check <BENCH_noc.json>] [--metrics]`
 //!
 //! - `--smoke` shrinks cycle counts ~10× for CI smoke runs;
 //! - `--json` additionally writes the measurements as one machine-readable
@@ -18,7 +18,13 @@
 //!   on a >25% regression. The gate is ratio-based (measured/committed per
 //!   scenario), and scenarios whose cycle counts differ more than 2× from
 //!   the committed run are skipped — a `--smoke` run is not "matched
-//!   scale" and must not trip the gate.
+//!   scale" and must not trip the gate;
+//! - `--metrics` enables live NoC metrics on every timed network and prints
+//!   the registry summary on stderr at exit. Combining `--metrics` with
+//!   `--check` is the observability layer's standing overhead gate: the
+//!   timed hot loop must clear the same 0.75× bar with metrics on.
+//!   Counter totals cover all [`RUNS`] timing runs of each scenario, not
+//!   just the best one.
 
 use std::process::ExitCode;
 use std::time::Instant;
@@ -83,6 +89,9 @@ fn report(scenario: &str, o: &Outcome) {
 /// cycles, then drains. Returns (total cycles stepped, packets delivered).
 fn drive(mesh: Mesh2d, mut traffic: impl TrafficPattern, cycles: u64) -> (u64, u64) {
     let mut net = Network::new(NetworkConfig::new(mesh));
+    if htpb_obs::enabled() {
+        net.enable_metrics();
+    }
     for c in 0..cycles {
         for p in traffic.generate(c) {
             let _ = net.inject(p);
@@ -90,6 +99,9 @@ fn drive(mesh: Mesh2d, mut traffic: impl TrafficPattern, cycles: u64) -> (u64, u
         net.step();
     }
     net.run_until_idle(1_000_000);
+    if htpb_obs::enabled() {
+        htpb_manycore::obs_bridge::absorb_network(&net);
+    }
     (net.cycle(), net.stats().delivered_packets())
 }
 
@@ -133,6 +145,9 @@ fn run_scenarios(scale: u64) -> Vec<(&'static str, Outcome)> {
             let mut fleet = TrojanFleet::new(&nodes, TamperRule::Zero);
             fleet.configure_all(&[], mesh8.center(), true);
             let mut net = Network::with_inspector(NetworkConfig::new(mesh8), fleet);
+            if htpb_obs::enabled() {
+                net.enable_metrics();
+            }
             for _ in 0..4 {
                 for src in mesh8.iter_nodes() {
                     if src != mesh8.center() {
@@ -141,6 +156,9 @@ fn run_scenarios(scale: u64) -> Vec<(&'static str, Outcome)> {
                 }
             }
             net.run_until_idle(1_000_000);
+            if htpb_obs::enabled() {
+                htpb_manycore::obs_bridge::absorb_network(&net);
+            }
             (net.cycle(), net.stats().delivered_packets())
         });
         results.push(("hotspot8_drain_trojan", o));
@@ -151,7 +169,13 @@ fn run_scenarios(scale: u64) -> Vec<(&'static str, Outcome)> {
         let cycles = 2_000_000 / scale;
         let o = time_scenario(|| {
             let mut net = Network::new(NetworkConfig::new(mesh16));
+            if htpb_obs::enabled() {
+                net.enable_metrics();
+            }
             net.step_n(cycles);
+            if htpb_obs::enabled() {
+                htpb_manycore::obs_bridge::absorb_network(&net);
+            }
             (net.cycle(), 0)
         });
         results.push(("idle16_empty", o));
@@ -256,12 +280,14 @@ fn check_against(path: &str, results: &[(&str, Outcome)]) -> bool {
 
 fn main() -> ExitCode {
     let mut smoke = false;
+    let mut metrics = false;
     let mut json_path: Option<String> = None;
     let mut check_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--smoke" => smoke = true,
+            "--metrics" => metrics = true,
             "--json" => match args.next() {
                 Some(p) => json_path = Some(p),
                 None => {
@@ -283,10 +309,15 @@ fn main() -> ExitCode {
         }
     }
 
+    htpb_obs::set_enabled(metrics);
+
     let scale = if smoke { 10 } else { 1 };
     let results = run_scenarios(scale);
     for (name, o) in &results {
         report(name, o);
+    }
+    if metrics {
+        eprint!("{}", htpb_obs::global().snapshot().to_summary());
     }
     if let Some(path) = &json_path {
         if let Err(e) = write_json(path, smoke, &results) {

@@ -21,7 +21,11 @@
 //!   against the digests recorded in the journal; exit non-zero on any
 //!   mismatch;
 //! - `--sequential` bypass the job pool and run the legacy whole-series
-//!   drivers in order (reference path, no cache).
+//!   drivers in order (reference path, no cache);
+//! - `--metrics`    collect runtime metrics (`htpb-obs`): writes
+//!   `results/metrics.prom`, embeds a JSON snapshot in the journal's
+//!   `run_end` record and prints a summary block on stderr. Proven not to
+//!   perturb the simulation (see `docs/OBSERVABILITY.md`).
 //!
 //! Every run appends framed, checksummed per-job lifecycle events and
 //! per-stage timings to `results/journal.jsonl` (see
@@ -43,6 +47,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    htpb_obs::set_enabled(args.metrics);
     let mut scale = ReproScale::Paper;
     let mut sequential = false;
     let mut verify = false;
@@ -114,6 +119,9 @@ fn main() -> ExitCode {
             false
         }
     };
+    if args.metrics {
+        eprint!("{}", htpb_harness::obs::summary_text());
+    }
     if verify {
         match verify_artefacts(outdir) {
             Ok(report) if report.ok() => {

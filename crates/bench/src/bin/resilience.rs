@@ -9,7 +9,9 @@
 //! - `--paper`        full paper-scale campaigns;
 //! - `--jobs N`       worker threads (default: one per core);
 //! - `--no-cache` / `--resume`   as in `repro_all`;
-//! - `--job-timeout SECS` / `--retries N`   per-job wall-clock guard.
+//! - `--job-timeout SECS` / `--retries N`   per-job wall-clock guard;
+//! - `--metrics`      collect runtime metrics: `results/metrics.prom`,
+//!   a JSON snapshot in the journal's `run_end`, and a stderr summary.
 //!
 //! Writes `results/resilience.tsv` (one row per swept cell) and
 //! `results/RESILIENCE.txt` (graceful-degradation and attack-effect shape
@@ -28,6 +30,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    htpb_obs::set_enabled(args.metrics);
     let mut scale = ReproScale::Quick;
     for arg in &args.rest {
         match arg.as_str() {
@@ -60,7 +63,11 @@ fn main() -> ExitCode {
         retry_seed: args.retry_seed,
         retry_base_ms: args.retry_base_ms,
     };
-    match run_resilience_sweep(scale, outdir, &opts) {
+    let result = run_resilience_sweep(scale, outdir, &opts);
+    if args.metrics {
+        eprint!("{}", htpb_harness::obs::summary_text());
+    }
+    match result {
         Ok(outcome) if outcome.failed == 0 => {
             eprintln!(
                 "[harness] {} jobs, {} from cache",

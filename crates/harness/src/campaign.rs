@@ -70,8 +70,9 @@ impl Campaign {
 
         // Recovery happens against the journal as the DYING process left
         // it, before this run appends anything.
-        let completed = Journal::completed_job_ids(&journal_path)?;
-        let interrupted = Journal::interrupted_job_ids(&journal_path)?;
+        let history = Journal::read_events(&journal_path)?;
+        let completed = crate::journal::completed_in(&history);
+        let interrupted = crate::journal::interrupted_in(&history);
         let journal = Journal::open_with_fs(&journal_path, Arc::clone(&fs))?;
 
         let mut recovered = 0;
@@ -94,6 +95,16 @@ impl Campaign {
                     journal.epoch(),
                     completed.len(),
                 );
+                // The resumed epoch will see little but cache hits, so the
+                // per-stage timing detail of the work already done must be
+                // recovered from the prior epochs' job_done records — this
+                // used to be silently dropped.
+                for t in crate::journal::stage_tallies_in(&history) {
+                    eprintln!(
+                        "[harness]   prior epochs: {}: {} job(s) ({} executed), {:.1}s",
+                        t.kind, t.jobs, t.executed, t.secs
+                    );
+                }
             }
         }
 
@@ -152,8 +163,17 @@ impl Campaign {
         Ok(())
     }
 
+    /// Commits the Prometheus exposition of the global metric registry to
+    /// `<outdir>/metrics.prom` (durably, digest-journalled like every
+    /// artefact). Only [`htpb_obs::Class::Sim`] series are rendered, so the
+    /// bytes are identical whatever `--jobs` count produced them.
+    pub fn emit_metrics(&self) -> io::Result<()> {
+        self.emit_artefact("metrics.prom", crate::obs::prom_text().as_bytes())
+    }
+
     /// Records `run_end` with the campaign's wall time plus `extra`
-    /// fields.
+    /// fields. With `--metrics` on, the full JSON snapshot of the metric
+    /// registry (all classes) is embedded under a `"metrics"` key.
     pub fn finish(&self, ok: bool, extra: Vec<(&str, Value)>) {
         let mut fields = vec![
             ("run", Value::Str(self.run.clone())),
@@ -161,6 +181,9 @@ impl Campaign {
             ("ok", Value::Bool(ok)),
         ];
         fields.extend(extra);
+        if htpb_obs::enabled() {
+            fields.push(("metrics", crate::obs::metrics_json()));
+        }
         self.journal.record("run_end", fields);
     }
 }

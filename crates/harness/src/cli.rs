@@ -13,7 +13,10 @@
 //! - `--retries N` — retries per timed-out job (default 1);
 //! - `--retry-base-ms N` — base unit of the deterministic exponential
 //!   retry backoff (default 25; `0` = immediate re-queue);
-//! - `--retry-seed N` — seed folded into the backoff jitter (default 0).
+//! - `--retry-seed N` — seed folded into the backoff jitter (default 0);
+//! - `--metrics` — enable runtime metric collection (`htpb-obs`): writes
+//!   `results/metrics.prom`, embeds a JSON snapshot in the journal's
+//!   `run_end` record and prints a summary block on stderr.
 //!
 //! Binary-specific flags are returned untouched in [`HarnessArgs::rest`].
 
@@ -36,6 +39,8 @@ pub struct HarnessArgs {
     pub retry_base_ms: u64,
     /// Seed folded into the retry-backoff jitter.
     pub retry_seed: u64,
+    /// Whether `--metrics` collection was requested.
+    pub metrics: bool,
     /// Arguments not consumed by the harness.
     pub rest: Vec<String>,
 }
@@ -51,6 +56,7 @@ impl HarnessArgs {
             retries: 1,
             retry_base_ms: 25,
             retry_seed: 0,
+            metrics: false,
             rest: Vec::new(),
         };
         let mut it = args.into_iter();
@@ -109,6 +115,7 @@ impl HarnessArgs {
                 }
                 "--no-cache" => parsed.use_cache = false,
                 "--resume" => parsed.use_cache = true,
+                "--metrics" => parsed.metrics = true,
                 _ => parsed.rest.push(arg),
             }
         }
@@ -148,7 +155,12 @@ mod tests {
         let a = parse(&[]);
         assert_eq!(a.jobs, None);
         assert!(a.use_cache);
+        assert!(!a.metrics, "metrics collection is opt-in");
         assert!(a.rest.is_empty());
+
+        let a = parse(&["--metrics", "--quick"]);
+        assert!(a.metrics);
+        assert_eq!(a.rest, vec!["--quick".to_string()]);
 
         let a = parse(&["--quick", "--jobs", "4", "--no-cache"]);
         assert_eq!(a.jobs, Some(4));

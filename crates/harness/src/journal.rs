@@ -287,20 +287,18 @@ impl Journal {
     /// (cache entries included) and re-run them.
     pub fn interrupted_job_ids(path: &Path) -> io::Result<Vec<String>> {
         let events = Journal::read_events(path)?;
-        let mut open: Vec<String> = Vec::new();
-        for e in &events {
-            let Some(id) = e.get("id").and_then(Value::as_str) else {
-                continue;
-            };
-            match e.get("event").and_then(Value::as_str) {
-                Some("job_start") if !open.iter().any(|o| o == id) => {
-                    open.push(id.to_string());
-                }
-                Some("job_done" | "job") => open.retain(|o| o != id),
-                _ => {}
-            }
-        }
-        Ok(open)
+        Ok(interrupted_in(&events))
+    }
+
+    /// Per-kind execution tallies aggregated from every `job_done` record
+    /// across **all** epochs of the journal: `(kind, jobs, executed,
+    /// secs)`, sorted by kind. `executed` excludes cache hits, and `secs`
+    /// sums the recorded wall times — the per-stage timing detail a
+    /// resumed campaign would otherwise lose (its own epoch sees only
+    /// cache hits).
+    pub fn stage_tallies(path: &Path) -> io::Result<Vec<StageTally>> {
+        let events = Journal::read_events(path)?;
+        Ok(stage_tallies_in(&events))
     }
 
     /// The most recent recorded digest per artefact path: `(path, bytes,
@@ -327,6 +325,79 @@ impl Journal {
         }
         Ok(digests)
     }
+}
+
+/// [`Journal::interrupted_job_ids`] over already-parsed events: ids with a
+/// `job_start` but no later `job_done`.
+#[must_use]
+pub fn interrupted_in(events: &[Value]) -> Vec<String> {
+    let mut open: Vec<String> = Vec::new();
+    for e in events {
+        let Some(id) = e.get("id").and_then(Value::as_str) else {
+            continue;
+        };
+        match e.get("event").and_then(Value::as_str) {
+            Some("job_start") if !open.iter().any(|o| o == id) => {
+                open.push(id.to_string());
+            }
+            Some("job_done" | "job") => open.retain(|o| o != id),
+            _ => {}
+        }
+    }
+    open
+}
+
+/// Aggregated `job_done` history for one job kind (`fig3`, `sweep`, ...).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageTally {
+    /// The job kind ([`crate::JobSpec::kind`]).
+    pub kind: String,
+    /// `job_done` records seen for this kind (cache hits included).
+    pub jobs: u64,
+    /// Completions that actually executed (`"cache_hit":false`).
+    pub executed: u64,
+    /// Sum of the recorded per-job wall times, in seconds.
+    pub secs: f64,
+}
+
+/// [`Journal::stage_tallies`] over already-parsed events. Accepts both the
+/// v2 `job_done` event and the v1 `job` event; records without a `kind`
+/// field are skipped.
+#[must_use]
+pub fn stage_tallies_in(events: &[Value]) -> Vec<StageTally> {
+    let mut tallies: Vec<StageTally> = Vec::new();
+    for e in events {
+        if !matches!(
+            e.get("event").and_then(Value::as_str),
+            Some("job" | "job_done")
+        ) {
+            continue;
+        }
+        let Some(kind) = e.get("kind").and_then(Value::as_str) else {
+            continue;
+        };
+        let secs = e.get("secs").and_then(Value::as_f64).unwrap_or(0.0);
+        let hit = e.get("cache_hit") == Some(&Value::Bool(true));
+        let t = match tallies.iter_mut().find(|t| t.kind == kind) {
+            Some(t) => t,
+            None => {
+                tallies.push(StageTally {
+                    kind: kind.to_string(),
+                    jobs: 0,
+                    executed: 0,
+                    secs: 0.0,
+                });
+                tallies.last_mut().expect("just pushed")
+            }
+        };
+        t.jobs += 1;
+        if !hit {
+            t.executed += 1;
+        }
+        t.secs += secs;
+    }
+    tallies.sort_by(|a, b| a.kind.cmp(&b.kind));
+    tallies
 }
 
 /// Completed job ids from already-parsed events (v1 `job` or v2
@@ -564,6 +635,44 @@ mod tests {
             Journal::interrupted_job_ids(&path).unwrap(),
             vec!["job-c".to_string()]
         );
+        let _ = fs::remove_file(&path);
+    }
+
+    /// Satellite fix for `repro_all --resume`: a resumed epoch's own
+    /// reports are all near-zero cache hits, so the per-stage timing
+    /// detail must be recoverable from the prior epochs' `job_done`
+    /// records.
+    #[test]
+    fn stage_tallies_recover_timing_detail_across_epochs() {
+        let path = tmpfile("tallies");
+        {
+            // Epoch 1: two fig3 points and a sweep point execute for real,
+            // then the process dies before the campaign finishes.
+            let j = Journal::open(&path).unwrap();
+            j.record("run_start", vec![("run", Value::Str("repro_all".into()))]);
+            j.job_done("fig3-a", "fig3", 0, false, true, true, 1.5, None);
+            j.job_done("fig3-b", "fig3", 1, false, true, true, 2.5, None);
+            j.job_done("sweep-a", "sweep", 0, false, true, true, 4.0, None);
+        }
+        {
+            // Epoch 2 (--resume): the finished points come back as cache
+            // hits with ~zero wall time; one new point executes.
+            let j = Journal::open(&path).unwrap();
+            assert_eq!(j.epoch(), 2, "fixture really spans two epochs");
+            j.record("run_start", vec![("run", Value::Str("repro_all".into()))]);
+            j.job_done("fig3-a", "fig3", 0, true, true, true, 0.0, None);
+            j.job_done("fig3-b", "fig3", 0, true, true, true, 0.0, None);
+            j.job_done("fig3-c", "fig3", 0, false, true, true, 3.0, None);
+        }
+        let tallies = Journal::stage_tallies(&path).unwrap();
+        assert_eq!(tallies.len(), 2, "{tallies:?}");
+        assert_eq!(tallies[0].kind, "fig3");
+        assert_eq!(tallies[0].jobs, 5, "hits and executions both count");
+        assert_eq!(tallies[0].executed, 3, "cache hits are not executions");
+        assert!((tallies[0].secs - 7.0).abs() < 1e-9, "{tallies:?}");
+        assert_eq!(tallies[1].kind, "sweep");
+        assert_eq!((tallies[1].jobs, tallies[1].executed), (1, 1));
+        assert!((tallies[1].secs - 4.0).abs() < 1e-9);
         let _ = fs::remove_file(&path);
     }
 

@@ -32,7 +32,10 @@
 //!   effect and graceful degradation across *fault rate × allocator ×
 //!   hardening* ([`resilience`]);
 //! - [`HarnessArgs`] — the shared `--jobs` / `--no-cache` / `--resume` /
-//!   `--job-timeout` / `--retries` flag parser ([`cli`]).
+//!   `--job-timeout` / `--retries` / `--metrics` flag parser ([`cli`]);
+//! - [`obs`] — pool-level metrics (job latency, queue depth, cache hit
+//!   rates) and the `metrics.prom` / `run_end` JSON / stderr expositions
+//!   of the `htpb-obs` registry (see `docs/OBSERVABILITY.md`).
 //!
 //! See `docs/HARNESS.md` for the job model, cache layout and journal
 //! schema.
@@ -49,6 +52,7 @@ pub mod hash;
 pub mod job;
 pub mod journal;
 pub mod json;
+pub mod obs;
 pub mod repro;
 pub mod resilience;
 pub mod runner;
@@ -59,7 +63,7 @@ pub use campaign::{verify_artefacts, Campaign, VerifyReport};
 pub use cli::HarnessArgs;
 pub use fs::{commit_append, commit_file, std_fs, FaultyFs, Fs, FsFault, StdFs};
 pub use job::{CampaignScale, Fig4Strategy, JobOutput, JobSpec};
-pub use journal::Journal;
+pub use journal::{Journal, StageTally};
 pub use repro::{
     cache_for, ensure_outdir, run_repro, run_repro_sequential, ReproOutcome, ReproPlan, ReproScale,
 };

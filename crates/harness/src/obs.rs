@@ -1,0 +1,161 @@
+//! Harness-side observability: worker-pool metrics and the three
+//! exposition paths the `--metrics` flag turns on.
+//!
+//! Everything the pool measures — job latency, queue depth, cache and
+//! baseline hit rates, retry/timeout tallies — depends on wall-clock time
+//! or scheduling, so every instrument here is [`Class::Timing`]: present in
+//! the JSON snapshot embedded in the journal's `run_end` record and in the
+//! stderr summary, **excluded from `metrics.prom` by construction**. That
+//! exclusion is what keeps the Prometheus artefact byte-deterministic
+//! across `--jobs 1` vs `--jobs N` (locked by `tests/obs_exposition.rs`).
+//!
+//! The handles are registered once in a `OnceLock` and shared by every
+//! worker; recording is lock-free and allocation-free (see
+//! `crates/obs/tests/alloc_regression.rs`).
+
+use std::sync::{Arc, OnceLock};
+
+use htpb_obs::{global, Class, Counter, Gauge, Histogram};
+
+use crate::json::{self, Value};
+
+/// Bucket bounds for job wall time in milliseconds: power-of-two up to
+/// ~2^14 ms (16s), everything slower in the `+Inf` bucket.
+const JOB_MS_BUCKETS: usize = 16;
+
+/// Shared handles to every pool-level instrument.
+#[derive(Debug)]
+pub struct HarnessMetrics {
+    /// Jobs completed (any outcome, cache hits included).
+    pub jobs_total: Arc<Counter>,
+    /// Jobs whose final attempt failed (panic, timeout, error).
+    pub failures_total: Arc<Counter>,
+    /// Jobs served from the result cache.
+    pub cache_hits_total: Arc<Counter>,
+    /// Jobs that had to execute (cache miss or no cache).
+    pub cache_misses_total: Arc<Counter>,
+    /// Jobs whose clean baseline came from the baseline cache.
+    pub baseline_hits_total: Arc<Counter>,
+    /// Jobs that computed their clean baseline.
+    pub baseline_misses_total: Arc<Counter>,
+    /// Retry attempts dispatched after a failed or timed-out attempt.
+    pub retries_total: Arc<Counter>,
+    /// Attempts that exceeded the per-job wall-clock limit.
+    pub timeouts_total: Arc<Counter>,
+    /// Jobs not yet finished in the currently running pool invocation.
+    pub queue_depth: Arc<Gauge>,
+    /// Per-job wall time in milliseconds.
+    pub job_ms: Arc<Histogram>,
+}
+
+/// The process-wide pool instruments, registered on first use.
+pub fn harness_metrics() -> &'static HarnessMetrics {
+    static METRICS: OnceLock<HarnessMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = global();
+        let t = Class::Timing;
+        HarnessMetrics {
+            jobs_total: r.counter("htpb_harness_jobs_total", "Jobs completed", t),
+            failures_total: r.counter(
+                "htpb_harness_job_failures_total",
+                "Jobs whose final attempt failed",
+                t,
+            ),
+            cache_hits_total: r.counter(
+                "htpb_harness_cache_hits_total",
+                "Jobs served from the result cache",
+                t,
+            ),
+            cache_misses_total: r.counter(
+                "htpb_harness_cache_misses_total",
+                "Jobs that executed (result-cache miss)",
+                t,
+            ),
+            baseline_hits_total: r.counter(
+                "htpb_harness_baseline_hits_total",
+                "Jobs whose clean baseline was memoized",
+                t,
+            ),
+            baseline_misses_total: r.counter(
+                "htpb_harness_baseline_misses_total",
+                "Jobs that computed their clean baseline",
+                t,
+            ),
+            retries_total: r.counter(
+                "htpb_harness_job_retries_total",
+                "Retry attempts dispatched",
+                t,
+            ),
+            timeouts_total: r.counter(
+                "htpb_harness_job_timeouts_total",
+                "Attempts that hit the per-job wall-clock limit",
+                t,
+            ),
+            queue_depth: r.gauge(
+                "htpb_harness_queue_depth",
+                "Jobs not yet finished in the running pool invocation",
+                t,
+            ),
+            job_ms: r.histogram(
+                "htpb_harness_job_wall_ms",
+                &htpb_obs::pow2_bounds(JOB_MS_BUCKETS),
+                "Per-job wall time in milliseconds",
+                t,
+            ),
+        }
+    })
+}
+
+/// The Prometheus text exposition of the global registry:
+/// [`Class::Sim`] series only, byte-deterministic across worker counts.
+/// This is exactly what `results/metrics.prom` contains.
+#[must_use]
+pub fn prom_text() -> String {
+    global().snapshot().to_prom()
+}
+
+/// The JSON snapshot of the global registry (all classes) as a journal
+/// [`Value`], embedded in the `run_end` record by [`crate::Campaign`].
+#[must_use]
+pub fn metrics_json() -> Value {
+    json::parse(&global().snapshot().to_json()).expect("snapshot JSON is well-formed")
+}
+
+/// The human `--metrics` stderr block.
+#[must_use]
+pub fn summary_text() -> String {
+    global().snapshot().to_summary()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_metrics_are_timing_class_and_never_reach_prom() {
+        htpb_obs::set_enabled(true);
+        let m = harness_metrics();
+        m.jobs_total.inc();
+        m.job_ms.observe(12);
+        m.queue_depth.set(3);
+        let prom = prom_text();
+        assert!(
+            !prom.contains("htpb_harness_"),
+            "Timing-class pool metrics leaked into the Prometheus exposition:\n{prom}"
+        );
+        let json = metrics_json().render();
+        assert!(json.contains("htpb_harness_jobs_total"));
+        assert!(summary_text().contains("htpb_harness_jobs_total"));
+        htpb_obs::set_enabled(false);
+    }
+
+    #[test]
+    fn snapshot_json_parses_as_journal_value() {
+        let v = metrics_json();
+        let series = v.get("series").and_then(Value::as_arr).expect("series key");
+        for s in series {
+            assert!(s.get("name").and_then(Value::as_str).is_some());
+            assert!(s.get("class").and_then(Value::as_str).is_some());
+        }
+    }
+}

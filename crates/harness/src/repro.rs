@@ -525,6 +525,9 @@ pub fn run_repro(scale: ReproScale, outdir: &Path, opts: &RunOptions) -> io::Res
             summary
         }
     };
+    if htpb_obs::enabled() {
+        campaign.emit_metrics()?;
+    }
     campaign.finish(
         failed == 0,
         vec![
@@ -665,6 +668,9 @@ pub fn run_repro_sequential(scale: ReproScale, outdir: &Path) -> io::Result<Repr
         samples,
     };
     let summary = emit(&artefacts, scale, &campaign)?;
+    if htpb_obs::enabled() {
+        campaign.emit_metrics()?;
+    }
     campaign.finish(
         true,
         vec![("failed", Value::Int(0)), ("cache_hits", Value::Int(0))],

@@ -201,6 +201,9 @@ pub fn run_resilience_plan(
         summary
     };
 
+    if htpb_obs::enabled() {
+        campaign.emit_metrics()?;
+    }
     campaign.finish(
         failed == 0,
         vec![

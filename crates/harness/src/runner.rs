@@ -162,6 +162,10 @@ pub fn run_jobs(jobs: &[JobSpec], opts: &RunOptions, journal: &Journal) -> Vec<J
     let hits = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<JobReport>>> = (0..total).map(|_| Mutex::new(None)).collect();
     let started = Instant::now();
+    let metrics = htpb_obs::enabled().then(crate::obs::harness_metrics);
+    if let Some(m) = metrics {
+        m.queue_depth.set(total as i64);
+    }
 
     thread::scope(|scope| {
         for worker in 0..workers {
@@ -193,6 +197,24 @@ pub fn run_jobs(jobs: &[JobSpec], opts: &RunOptions, journal: &Journal) -> Vec<J
                         if hit { "baseline_hit" } else { "baseline_miss" },
                         vec![("id", Value::Str(spec.id()))],
                     );
+                }
+                if let Some(m) = metrics {
+                    m.jobs_total.inc();
+                    m.job_ms.observe((secs * 1000.0) as u64);
+                    if attempt.cache_hit {
+                        m.cache_hits_total.inc();
+                    } else {
+                        m.cache_misses_total.inc();
+                    }
+                    match attempt.baseline {
+                        Some(true) => m.baseline_hits_total.inc(),
+                        Some(false) => m.baseline_misses_total.inc(),
+                        None => {}
+                    }
+                    if attempt.output.is_err() {
+                        m.failures_total.inc();
+                    }
+                    m.queue_depth.add(-1);
                 }
                 *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(JobReport {
                     spec: spec.clone(),
@@ -240,9 +262,13 @@ fn execute_with_retries(
     worker: usize,
 ) -> Attempt {
     let mut retry: u32 = 0;
+    let metrics = htpb_obs::enabled().then(crate::obs::harness_metrics);
     loop {
         let attempt = execute_one(spec, opts, journal, worker, retry + 1);
         if attempt.timed_out {
+            if let Some(m) = metrics {
+                m.timeouts_total.inc();
+            }
             journal.record(
                 "job_timeout",
                 vec![
@@ -258,6 +284,9 @@ fn execute_with_retries(
         let retryable = attempt.timed_out || (!attempt.cache_hit && attempt.output.is_err());
         if retryable && retry < opts.retries {
             retry += 1;
+            if let Some(m) = metrics {
+                m.retries_total.inc();
+            }
             let delay_ms = retry_delay_ms(opts.retry_seed, &spec.id(), retry, opts.retry_base_ms);
             journal.record(
                 "job_retry",

@@ -215,6 +215,58 @@ fn artefact_emission_is_old_or_new_under_every_fault_point() {
     }
 }
 
+/// `--metrics` makes `metrics.prom` a first-class artefact: a fault at any
+/// operation index of [`Campaign::emit_metrics`] — journal touch,
+/// `run_start` append, temp write, rename, digest append — leaves the old
+/// exposition or the new one on disk, never a torn file.
+///
+/// The probe counter is this binary's only `Class::Sim` series (the test
+/// deliberately leaves the global enable flag off so no simulator absorbs
+/// metrics concurrently), which makes both expositions deterministic.
+#[test]
+fn metrics_prom_commit_is_old_or_new_under_every_fault_point() {
+    let probe = htpb_obs::global().counter(
+        "htpb_test_crash_probe_total",
+        "crash-safety probe",
+        htpb_obs::Class::Sim,
+    );
+    for op in 0..8u64 {
+        for kind in 0..3usize {
+            let dir = tmpdir(&format!("metrics-{op}-{kind}"));
+            let opts = RunOptions::sequential();
+            // Epoch 1 commits the "old" exposition on a healthy filesystem.
+            let clean =
+                Campaign::start("metrics_emit", &dir, &[], &opts, std_fs(), vec![]).unwrap();
+            let old = htpb_harness::obs::prom_text();
+            clean.emit_metrics().unwrap();
+            clean.finish(true, vec![]);
+            // Advance the registry so the "new" exposition differs, then
+            // re-emit with a fault injected somewhere in the commit path.
+            probe.inc();
+            let new = htpb_harness::obs::prom_text();
+            assert_ne!(old, new, "probe increment must change the exposition");
+            if let Ok(campaign) = Campaign::start(
+                "metrics_emit",
+                &dir,
+                &[],
+                &opts,
+                faulty(op, fault_kind(kind, 9)),
+                vec![],
+            ) {
+                let _ = campaign.emit_metrics();
+                campaign.finish(true, vec![]);
+            }
+            let bytes = fs::read(dir.join("metrics.prom")).unwrap();
+            assert!(
+                bytes == old.as_bytes() || bytes == new.as_bytes(),
+                "fault {kind}@op{op} tore metrics.prom"
+            );
+            assert_eq!(tmp_litter(&dir), Vec::<String>::new());
+            let _ = fs::remove_dir_all(&dir);
+        }
+    }
+}
+
 #[test]
 fn baseline_store_under_faults_converges_on_retry() {
     let cfg = CampaignScale::Tiny.config(Mix::Mix1);

@@ -1,0 +1,182 @@
+//! Exposition-path integration tests for the `--metrics` layer.
+//!
+//! Three contracts are locked here:
+//!
+//! 1. the JSON metrics snapshot a [`Campaign`] embeds in its `run_end`
+//!    record round-trips through the journal — `Journal::read_events`
+//!    re-parses it to exactly the values the registry held at finish time;
+//! 2. `metrics.prom` (emitted via [`Campaign::emit_metrics`]) contains
+//!    only [`Sim`](htpb_obs::Class::Sim) series — no Timing-class pool
+//!    metric ever reaches the byte-deterministic artefact — and verifies
+//!    against its journalled digest like any other artefact;
+//! 3. the worker pool's instrumentation counts real jobs: running a job
+//!    list with metrics enabled moves the `htpb_harness_*` counters by
+//!    exactly the pool's actual activity, and the queue-depth gauge drains
+//!    back to zero.
+//!
+//! All instruments touched here use test-unique names (or deltas of the
+//! shared pool counters, which no other test in this binary drives), so the
+//! tests stay correct under the default parallel test runner.
+
+use std::fs;
+use std::path::PathBuf;
+
+use htpb_harness::json::Value;
+use htpb_harness::{run_jobs, std_fs, verify_artefacts, Campaign, JobSpec, Journal, RunOptions};
+use htpb_obs::{global, Class};
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("htpb-obs-expo-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Finds one series object by name in a parsed JSON snapshot.
+fn find_series<'a>(metrics: &'a Value, name: &str) -> Option<&'a Value> {
+    metrics
+        .get("series")
+        .and_then(Value::as_arr)?
+        .iter()
+        .find(|s| s.get("name").and_then(Value::as_str) == Some(name))
+}
+
+#[test]
+fn run_end_metrics_snapshot_round_trips_through_journal() {
+    htpb_obs::set_enabled(true);
+    // Test-unique instruments covering all three kinds and both classes.
+    let counter = global().counter(
+        "htpb_test_expo_probe_total",
+        "round-trip probe counter",
+        Class::Sim,
+    );
+    counter.add(7);
+    let gauge = global().gauge(
+        "htpb_test_expo_depth",
+        "round-trip probe gauge",
+        Class::Timing,
+    );
+    gauge.set(-3);
+    let hist = global().histogram(
+        "htpb_test_expo_lat",
+        &[1, 4, 16],
+        "round-trip probe histogram",
+        Class::Sim,
+    );
+    hist.observe(0);
+    hist.observe(3);
+    hist.observe(100);
+
+    let dir = tmpdir("roundtrip");
+    let opts = RunOptions::sequential();
+    let campaign = Campaign::start("obs_expo", &dir, &[], &opts, std_fs(), vec![]).unwrap();
+    campaign.finish(true, vec![]);
+
+    let events = Journal::read_events(&dir.join("journal.jsonl")).unwrap();
+    let run_end = events
+        .iter()
+        .rev()
+        .find(|e| e.get("event").and_then(Value::as_str) == Some("run_end"))
+        .expect("run_end record");
+    let metrics = run_end.get("metrics").expect("embedded metrics snapshot");
+
+    let c = find_series(metrics, "htpb_test_expo_probe_total").expect("probe counter");
+    assert_eq!(c.get("class").and_then(Value::as_str), Some("sim"));
+    assert_eq!(c.get("kind").and_then(Value::as_str), Some("counter"));
+    assert_eq!(c.get("value").and_then(Value::as_i64), Some(7));
+    assert_eq!(counter.get(), 7, "journal and registry agree");
+
+    let g = find_series(metrics, "htpb_test_expo_depth").expect("probe gauge");
+    assert_eq!(g.get("class").and_then(Value::as_str), Some("timing"));
+    assert_eq!(g.get("value").and_then(Value::as_i64), Some(-3));
+
+    let h = find_series(metrics, "htpb_test_expo_lat").expect("probe histogram");
+    let ints = |key: &str| -> Vec<i64> {
+        h.get(key)
+            .and_then(Value::as_arr)
+            .unwrap()
+            .iter()
+            .map(|v| v.as_i64().unwrap())
+            .collect()
+    };
+    assert_eq!(ints("bounds"), vec![1, 4, 16]);
+    assert_eq!(ints("counts"), vec![1, 1, 0, 1]);
+    assert_eq!(h.get("sum").and_then(Value::as_i64), Some(103));
+    let snap = hist.snapshot();
+    assert_eq!(snap.sum, 103, "journal and registry agree on the histogram");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn metrics_prom_artefact_is_sim_only_and_digest_verified() {
+    htpb_obs::set_enabled(true);
+    let probe = global().counter(
+        "htpb_test_expo_prom_total",
+        "prom artefact probe",
+        Class::Sim,
+    );
+    probe.add(42);
+    // The pool metrics exist (Timing class) the moment any test touches
+    // them; force registration so the exclusion assertion is not vacuous.
+    let _ = htpb_harness::obs::harness_metrics();
+
+    let dir = tmpdir("prom");
+    let opts = RunOptions::sequential();
+    let campaign = Campaign::start("obs_expo", &dir, &[], &opts, std_fs(), vec![]).unwrap();
+    campaign.emit_metrics().unwrap();
+    campaign.finish(true, vec![]);
+
+    let prom = fs::read_to_string(dir.join("metrics.prom")).unwrap();
+    assert!(prom.starts_with("# HELP "), "golden grammar: HELP first");
+    assert!(prom.contains("# TYPE htpb_test_expo_prom_total counter"));
+    assert!(prom.contains("\nhtpb_test_expo_prom_total 42\n"));
+    assert!(
+        !prom.contains("htpb_harness_"),
+        "Timing-class pool metrics leaked into metrics.prom:\n{prom}"
+    );
+    // The artefact is digest-journalled like every other output.
+    let report = verify_artefacts(&dir).unwrap();
+    assert!(report.ok(), "{:?}", report.mismatches);
+    assert_eq!(report.verified, 1);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn pool_instrumentation_counts_real_jobs_and_drains_queue_depth() {
+    htpb_obs::set_enabled(true);
+    let m = htpb_harness::obs::harness_metrics();
+    let jobs_before = m.jobs_total.get();
+    let misses_before = m.cache_misses_total.get();
+    let observed_before = m.job_ms.snapshot().count();
+
+    let jobs = vec![
+        JobSpec::Fig3Point {
+            nodes: 16,
+            corner: false,
+            ht_count: 0,
+            seeds: vec![0],
+        },
+        JobSpec::Fig3Point {
+            nodes: 16,
+            corner: true,
+            ht_count: 1,
+            seeds: vec![0],
+        },
+    ];
+    let reports = run_jobs(&jobs, &RunOptions::sequential(), &Journal::disabled());
+    assert_eq!(reports.len(), 2);
+    assert!(reports.iter().all(|r| r.output.is_ok()));
+
+    assert_eq!(m.jobs_total.get() - jobs_before, 2);
+    assert_eq!(
+        m.cache_misses_total.get() - misses_before,
+        2,
+        "no cache configured, so every job is a miss"
+    );
+    assert_eq!(m.job_ms.snapshot().count() - observed_before, 2);
+    assert_eq!(
+        m.queue_depth.get(),
+        0,
+        "the gauge must drain back to zero when the pool finishes"
+    );
+}

@@ -41,6 +41,8 @@ mod app;
 mod benchmark;
 pub mod cache;
 mod error;
+mod metrics;
+pub mod obs_bridge;
 mod report;
 mod system;
 mod tile;
@@ -51,6 +53,7 @@ pub use cache::{
     AccessResult, AddressStream, CacheConfig, Directory, DirectoryAction, LineState, SetAssocCache,
 };
 pub use error::ManycoreError;
+pub use metrics::{SysMetrics, UTIL_DECILES};
 pub use report::{AppPerformance, PerformanceReport};
 pub use system::{ManyCoreSystem, RequestProtection, SystemBuilder, SystemConfig};
 pub use tile::Tile;

@@ -15,6 +15,7 @@ use htpb_power::{
 use crate::app::Workload;
 use crate::cache::{CacheConfig, Directory, SetAssocCache};
 use crate::error::ManycoreError;
+use crate::metrics::SysMetrics;
 use crate::report::{AppPerformance, PerformanceReport};
 use crate::tile::{Assignment, Tile};
 
@@ -356,10 +357,19 @@ impl SystemBuilder {
         let mut manager = GlobalManager::new(budget, cfg.allocator.build());
         manager.set_hardening(cfg.hardening);
 
-        let net = Network::with_inspector(
+        let mut net = Network::with_inspector(
             NetworkConfig::new(cfg.mesh).with_routing(cfg.routing),
             inspector,
         );
+        // Observability opt-in is process-wide: when the driver has turned
+        // the obs layer on, every system it builds collects live metrics
+        // and absorbs them into the global registry when dropped.
+        let metrics = if htpb_obs::enabled() {
+            net.enable_metrics();
+            Some(Box::<SysMetrics>::default())
+        } else {
+            None
+        };
         let seed = cfg.seed;
         let nodes = cfg.mesh.nodes() as usize;
         if cfg.detailed_caches {
@@ -397,6 +407,8 @@ impl SystemBuilder {
             invalidations_sent: 0,
             missing_requesters_last_epoch: 0,
             delivered_buf: Vec::new(),
+            metrics,
+            metrics_absorbed: false,
             rng: StdRng::seed_from_u64(seed),
         })
     }
@@ -449,6 +461,14 @@ pub struct ManyCoreSystem<I: PacketInspector = NullInspector> {
     /// and [`consume_deliveries`](Self::consume_deliveries), so the
     /// steady-state epoch loop drains deliveries without allocating.
     delivered_buf: Vec<DeliveredPacket>,
+    /// Optional power-protocol metrics ([`SysMetrics`]); enabled at build
+    /// time when the process-wide obs layer is on, or explicitly via
+    /// [`ManyCoreSystem::enable_metrics`]. Write-only from the epoch
+    /// loop's point of view (non-perturbation by construction).
+    metrics: Option<Box<SysMetrics>>,
+    /// Whether the metrics were already absorbed into the obs registry
+    /// (suppresses the drop-time auto-absorb).
+    metrics_absorbed: bool,
     rng: StdRng,
 }
 
@@ -504,6 +524,31 @@ impl<I: PacketInspector> ManyCoreSystem<I> {
     #[must_use]
     pub fn manager(&self) -> &GlobalManager {
         &self.manager
+    }
+
+    /// Enables live metrics on this system and its NoC (idempotent); done
+    /// automatically at build time when [`htpb_obs::enabled`] is on.
+    pub fn enable_metrics(&mut self) {
+        self.net.enable_metrics();
+        if self.metrics.is_none() {
+            self.metrics = Some(Box::default());
+        }
+    }
+
+    /// The power-protocol metrics, when enabled.
+    #[must_use]
+    pub fn sys_metrics(&self) -> Option<&SysMetrics> {
+        self.metrics.as_deref()
+    }
+
+    /// Absorbs this system's metrics into the global obs registry now
+    /// instead of at drop time. Idempotent: the drop-time absorb is
+    /// suppressed afterwards, so totals are never double-counted.
+    pub fn absorb_metrics(&mut self) {
+        if self.metrics.is_some() && !self.metrics_absorbed {
+            self.metrics_absorbed = true;
+            crate::obs_bridge::absorb_system(self);
+        }
     }
 
     /// One tile.
@@ -722,6 +767,10 @@ impl<I: PacketInspector> ManyCoreSystem<I> {
         self.missing_requesters_last_epoch =
             expected.saturating_sub(self.manager.pending_requests());
         let grants = self.manager.run_epoch(&self.model);
+        if let Some(m) = self.metrics.as_deref_mut() {
+            let granted: f64 = grants.iter().map(|g| g.milliwatts).sum();
+            m.on_epoch(granted, self.manager.budget_mw());
+        }
         let manager = self.config.manager;
         for g in grants {
             let _ = self.net.inject(Packet::power_grant(
@@ -787,6 +836,9 @@ impl<I: PacketInspector> ManyCoreSystem<I> {
                     self.manager.submit(PowerRequest::new(p.src().raw(), value));
                 }
                 PacketKind::PowerGrant => {
+                    if let Some(m) = self.metrics.as_deref_mut() {
+                        m.on_grant(d.latency);
+                    }
                     let tile = &mut self.tiles[p.dst().0 as usize];
                     tile.apply_grant(f64::from(p.payload()), &self.model);
                 }
@@ -920,6 +972,15 @@ impl<I: PacketInspector> ManyCoreSystem<I> {
                 ));
             }
         }
+    }
+}
+
+impl<I: PacketInspector> Drop for ManyCoreSystem<I> {
+    fn drop(&mut self) {
+        // Auto-absorb at end of life so drivers get campaign-wide totals
+        // without threading a call through every code path. A no-op unless
+        // metrics were enabled (and not already absorbed explicitly).
+        self.absorb_metrics();
     }
 }
 
@@ -1240,6 +1301,32 @@ mod tests {
         assert!(r.requests_timed_out > 0, "timeouts should be visible");
         assert_eq!(r.requests_timed_out, r.degradation_total());
         assert_eq!(soft.performance_report().degradation_total(), 0);
+    }
+
+    #[test]
+    fn metrics_do_not_perturb_the_system() {
+        let run = |metrics: bool| {
+            let mut sys = small_system();
+            if metrics {
+                sys.enable_metrics();
+            }
+            sys.run_epochs(3);
+            let fp = sys.network().stats().fingerprint();
+            let draw = sys.power_draw_mw();
+            (fp, draw, sys.cycle())
+        };
+        assert_eq!(run(false), run(true));
+        // And the instrumented run actually recorded the protocol.
+        let mut sys = small_system();
+        sys.enable_metrics();
+        sys.run_epochs(3);
+        let m = sys.sys_metrics().unwrap();
+        assert!(m.epochs >= 3, "allocation epochs not observed");
+        assert!(m.grant_latency.count() > 0, "no grants observed");
+        assert!(
+            sys.network().metrics().unwrap().active_router_cycles > 0,
+            "NoC metrics not enabled alongside system metrics"
+        );
     }
 
     #[test]

@@ -57,6 +57,12 @@ impl ActiveSet {
         self.count == 0
     }
 
+    /// Number of active indices. O(1) — maintained incrementally.
+    #[inline]
+    pub(crate) fn len(&self) -> usize {
+        self.count
+    }
+
     /// Snapshots the active indices into `out` (cleared first) in ascending
     /// order — the same order the dense scans visited them. The caller may
     /// then mutate the set freely while walking the snapshot.

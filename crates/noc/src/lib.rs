@@ -38,6 +38,7 @@ mod fault;
 mod flit;
 mod fnv;
 mod inspect;
+mod metrics;
 mod network;
 mod packet;
 mod router;
@@ -54,6 +55,7 @@ pub use fault::{FaultAction, FaultHook};
 pub use flit::{Flit, FlitKind, FLITS_PER_DATA_PACKET, FLITS_PER_META_PACKET, FLIT_SIZE_BITS};
 pub use fnv::{Digest, FnvBuildHasher, FnvHashMap, FnvHasher};
 pub use inspect::{InspectOutcome, NullInspector, PacketInspector};
+pub use metrics::{NocMetrics, VC_OCCUPANCY_BUCKETS};
 pub use network::{DeliveredPacket, Network, NetworkConfig};
 pub use packet::{
     ActivationSignal, ConfigCommand, Packet, PacketKind, RawPacket, PACKET_HEADER_WORDS,

@@ -5,6 +5,7 @@ use crate::error::NocError;
 use crate::fault::{FaultAction, FaultHook};
 use crate::flit::Flit;
 use crate::inspect::{NullInspector, PacketInspector};
+use crate::metrics::NocMetrics;
 use crate::packet::{Packet, PacketKind};
 use crate::router::{Router, RouterConfig};
 use crate::routing::{RoutingAlgorithm, RoutingKind};
@@ -132,6 +133,12 @@ pub struct Network<I: PacketInspector = NullInspector> {
     /// default) costs one branch per [`Network::step`]; a hook whose
     /// [`FaultHook::any_faults_at`] returns `false` costs one virtual call.
     faults: Option<Box<dyn FaultHook>>,
+    /// Optional live metrics ([`NocMetrics`]). `None` (the default) costs
+    /// one branch per [`Network::step`] and one per flit push; the pipeline
+    /// only ever *writes* these tallies, so enabling them cannot perturb
+    /// behaviour (locked by the metrics-on golden digests and the
+    /// conformance oracle).
+    metrics: Option<Box<NocMetrics>>,
     stats: NetworkStats,
     trace: Option<TraceBuffer>,
     cycle: u64,
@@ -184,6 +191,7 @@ impl<I: PacketInspector> Network<I> {
             ejected: Vec::new(),
             inspector,
             faults: None,
+            metrics: None,
             stats: NetworkStats::default(),
             trace: config.trace_capacity.map(TraceBuffer::new),
             cycle: 0,
@@ -248,6 +256,22 @@ impl<I: PacketInspector> Network<I> {
     #[must_use]
     pub fn has_fault_hook(&self) -> bool {
         self.faults.is_some()
+    }
+
+    /// Enables live metric collection ([`NocMetrics`]). Idempotent; the
+    /// single `Box` allocation happens here, before steady state, keeping
+    /// [`Network::step`] allocation-free with metrics on (locked by
+    /// `tests/alloc_regression.rs`).
+    pub fn enable_metrics(&mut self) {
+        if self.metrics.is_none() {
+            self.metrics = Some(Box::default());
+        }
+    }
+
+    /// The live metrics, when enabled.
+    #[must_use]
+    pub fn metrics(&self) -> Option<&NocMetrics> {
+        self.metrics.as_deref()
     }
 
     /// Aggregate network statistics.
@@ -373,6 +397,13 @@ impl<I: PacketInspector> Network<I> {
             Some(hook) => hook.any_faults_at(self.cycle),
             None => false,
         };
+        if let Some(m) = self.metrics.as_deref_mut() {
+            m.on_cycle(
+                self.active.len(),
+                self.links_occupied.len(),
+                self.queued_flits,
+            );
+        }
         self.stage_link_delivery();
         self.stage_switch_traversal(faults_engaged);
         self.stage_injection();
@@ -541,6 +572,9 @@ impl<I: PacketInspector> Network<I> {
             if faults_engaged {
                 if let Some(hook) = self.faults.as_mut() {
                     if hook.router_stalled(node, self.cycle) {
+                        if let Some(m) = self.metrics.as_deref_mut() {
+                            m.on_router_stalled();
+                        }
                         continue;
                     }
                 }
@@ -692,6 +726,10 @@ impl<I: PacketInspector> Network<I> {
             let r = &mut self.routers[di];
             let s = r.slot(in_port, ovc);
             r.push_flit(s, flit, now);
+            let occupancy = r.vc_len(s);
+            if let Some(m) = self.metrics.as_deref_mut() {
+                m.on_flit_buffered(occupancy);
+            }
             self.active.insert(di);
         }
         self.scratch = worklist;
@@ -741,6 +779,10 @@ impl<I: PacketInspector> Network<I> {
                 Some(target_vc)
             };
             self.routers[ri].push_flit(slot, flit, now);
+            let occupancy = self.routers[ri].vc_len(slot);
+            if let Some(m) = self.metrics.as_deref_mut() {
+                m.on_flit_buffered(occupancy);
+            }
             self.active.insert(ri);
         }
         self.scratch = worklist;

@@ -50,6 +50,12 @@ impl LatencyHistogram {
         self.max
     }
 
+    /// Sum of all recorded latencies, in cycles.
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
     /// Raw bucket counts (power-of-two buckets).
     #[must_use]
     pub fn buckets(&self) -> &[u64; 32] {

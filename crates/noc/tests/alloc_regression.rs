@@ -56,12 +56,27 @@ static COUNTER: CountingAlloc = CountingAlloc;
 /// following 2 000 cycles must not allocate inside `step()`.
 #[test]
 fn steady_state_step_performs_zero_heap_allocations() {
+    run_zero_alloc_scenario(false);
+}
+
+/// Same lock with live metrics enabled: [`Network::enable_metrics`] boxes
+/// its tallies up front, so the instrumented hot loop must stay just as
+/// allocation-free as the bare one.
+#[test]
+fn steady_state_step_with_metrics_performs_zero_heap_allocations() {
+    run_zero_alloc_scenario(true);
+}
+
+fn run_zero_alloc_scenario(metrics: bool) {
     const WARMUP: u64 = 2_000;
     const MEASURED: u64 = 2_000;
 
     let mesh = Mesh2d::new(16, 16).unwrap();
     let mut traffic = UniformTraffic::new(mesh, 0.05, PacketKind::Meta, 42);
     let mut net = Network::new(NetworkConfig::new(mesh));
+    if metrics {
+        net.enable_metrics();
+    }
     let mut delivered = Vec::with_capacity(1024);
 
     for cycle in 0..WARMUP {
@@ -97,4 +112,11 @@ fn steady_state_step_performs_zero_heap_allocations() {
         total_delivered > 1_000,
         "measured window delivered only {total_delivered} packets — load too low for the lock to mean anything"
     );
+    if metrics {
+        let m = net.metrics().expect("metrics were enabled");
+        assert!(
+            m.active_router_cycles > 0 && m.vc_occupancy_total() > 0,
+            "metrics-on run recorded nothing — hooks are dead, lock is vacuous"
+        );
+    }
 }

@@ -104,53 +104,74 @@ fn trojans_for(mesh: Mesh2d) -> ZeroTrojans {
     ZeroTrojans { nodes, manager }
 }
 
-fn hotspot_digest(w: u16, h: u16) -> u64 {
+fn hotspot_digest(w: u16, h: u16, metrics: bool) -> u64 {
     let mesh = Mesh2d::new(w, h).unwrap();
-    let net = Network::new(traced(mesh));
+    let mut net = Network::new(traced(mesh));
+    if metrics {
+        net.enable_metrics();
+    }
     let traffic = HotspotTraffic::new(mesh, mesh.center(), 600, 120, 11);
     run_digest(net, traffic, 2_400)
 }
 
-fn uniform_digest(w: u16, h: u16) -> u64 {
+fn uniform_digest(w: u16, h: u16, metrics: bool) -> u64 {
     let mesh = Mesh2d::new(w, h).unwrap();
-    let net = Network::new(traced(mesh));
+    let mut net = Network::new(traced(mesh));
+    if metrics {
+        net.enable_metrics();
+    }
     let traffic = UniformTraffic::new(mesh, 0.03, PacketKind::Data, 23);
     run_digest(net, traffic, 1_500)
 }
 
-fn trojan_digest(w: u16, h: u16) -> u64 {
+fn trojan_digest(w: u16, h: u16, metrics: bool) -> u64 {
     let mesh = Mesh2d::new(w, h).unwrap();
-    let net = Network::with_inspector(traced(mesh), trojans_for(mesh));
+    let mut net = Network::with_inspector(traced(mesh), trojans_for(mesh));
+    if metrics {
+        net.enable_metrics();
+    }
     let traffic = HotspotTraffic::new(mesh, mesh.center(), 500, 80, 5);
     run_digest(net, traffic, 2_000)
 }
 
+// Every golden value is asserted twice: metrics off (the original recorded
+// configuration) and metrics on. The second assertion is the
+// non-perturbation contract of `htpb-obs` made executable — collecting the
+// full live metric set must leave stats, delivery order, cycle count and
+// traces bit-identical.
+
 #[test]
 fn golden_hotspot_8x8() {
-    assert_eq!(hotspot_digest(8, 8), 10974665365203148897);
+    assert_eq!(hotspot_digest(8, 8, false), 10974665365203148897);
+    assert_eq!(hotspot_digest(8, 8, true), 10974665365203148897);
 }
 
 #[test]
 fn golden_hotspot_16x16() {
-    assert_eq!(hotspot_digest(16, 16), 6746930467982697151);
+    assert_eq!(hotspot_digest(16, 16, false), 6746930467982697151);
+    assert_eq!(hotspot_digest(16, 16, true), 6746930467982697151);
 }
 
 #[test]
 fn golden_uniform_8x8() {
-    assert_eq!(uniform_digest(8, 8), 18339930570319748036);
+    assert_eq!(uniform_digest(8, 8, false), 18339930570319748036);
+    assert_eq!(uniform_digest(8, 8, true), 18339930570319748036);
 }
 
 #[test]
 fn golden_uniform_16x16() {
-    assert_eq!(uniform_digest(16, 16), 7876670920061007167);
+    assert_eq!(uniform_digest(16, 16, false), 7876670920061007167);
+    assert_eq!(uniform_digest(16, 16, true), 7876670920061007167);
 }
 
 #[test]
 fn golden_trojan_8x8() {
-    assert_eq!(trojan_digest(8, 8), 7134810773300823719);
+    assert_eq!(trojan_digest(8, 8, false), 7134810773300823719);
+    assert_eq!(trojan_digest(8, 8, true), 7134810773300823719);
 }
 
 #[test]
 fn golden_trojan_16x16() {
-    assert_eq!(trojan_digest(16, 16), 9836475051372867626);
+    assert_eq!(trojan_digest(16, 16, false), 9836475051372867626);
+    assert_eq!(trojan_digest(16, 16, true), 9836475051372867626);
 }

@@ -1,0 +1,178 @@
+//! Sharded atomic counters and gauges.
+//!
+//! A single shared `AtomicU64` serializes every incrementing core on one
+//! cache line; under the harness worker pool that contention would make the
+//! cost of observability proportional to parallelism. [`Counter`] instead
+//! spreads increments over a small fixed set of cache-line-padded shards,
+//! picked per thread, and sums them on read. Reads are rare (exposition
+//! time), writes are hot — the classic LongAdder trade.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
+
+/// Number of shards per counter. A small power of two: enough to keep the
+/// harness worker pool (capped well below 64 threads) off each other's
+/// cache lines, small enough that read-time summation stays trivial.
+const SHARDS: usize = 8;
+
+/// One cache line worth of counter shard, padded so neighbouring shards
+/// never share a line (the whole point of sharding).
+#[repr(align(64))]
+#[derive(Debug, Default)]
+struct Shard(AtomicU64);
+
+/// Round-robin assignment of threads to shards: each thread latches a shard
+/// index on first use and keeps it for life. Deterministic *values* do not
+/// require deterministic shard assignment — `get()` sums all shards, and
+/// addition commutes.
+static NEXT_SHARD: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static THREAD_SHARD: Cell<usize> = const { Cell::new(usize::MAX) };
+}
+
+#[inline]
+fn shard_index() -> usize {
+    THREAD_SHARD.with(|s| {
+        let v = s.get();
+        if v != usize::MAX {
+            v
+        } else {
+            let v = NEXT_SHARD.fetch_add(1, Ordering::Relaxed) % SHARDS;
+            s.set(v);
+            v
+        }
+    })
+}
+
+/// A monotonically increasing counter, sharded across cache lines.
+///
+/// `inc`/`add` are wait-free relaxed atomic adds with no allocation;
+/// [`Counter::get`] sums the shards (exact once writers quiesce — the
+/// conservation property pinned by `tests/proptest_obs.rs`).
+#[derive(Debug, Default)]
+pub struct Counter {
+    shards: [Shard; SHARDS],
+}
+
+impl Counter {
+    /// A fresh zero counter.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.shards[shard_index()].0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current total across all shards.
+    ///
+    /// Concurrent readers see a value between the total before and after
+    /// any in-flight increments — never a torn or decreasing one (each
+    /// shard is read atomically and shards only grow).
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.0.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Resets the counter to zero (exposition tooling only — never called
+    /// from instrumented code).
+    pub fn reset(&self) {
+        for s in &self.shards {
+            s.0.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A last-value-wins signed gauge (queue depths, in-flight work).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// A fresh zero gauge.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (may be negative).
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    #[must_use]
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Resets the gauge to zero (exposition tooling only).
+    pub fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn counter_sums_across_threads() {
+        let c = Arc::new(Counter::new());
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let c = Arc::clone(&c);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..10_000 {
+                    c.inc();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.get(), 80_000);
+    }
+
+    #[test]
+    fn counter_reset_zeroes_all_shards() {
+        let c = Counter::new();
+        c.add(41);
+        c.inc();
+        assert_eq!(c.get(), 42);
+        c.reset();
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn gauge_set_add() {
+        let g = Gauge::new();
+        g.set(10);
+        g.add(-3);
+        assert_eq!(g.get(), 7);
+        g.reset();
+        assert_eq!(g.get(), 0);
+    }
+}

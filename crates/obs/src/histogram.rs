@@ -1,0 +1,218 @@
+//! Fixed-bucket histograms.
+//!
+//! Buckets are fixed at registration time (allocation happens once, before
+//! steady state); [`Histogram::observe`] is a short bound scan plus two
+//! relaxed atomic adds. Values are integers in a caller-chosen unit —
+//! cycles, nanoseconds, milli-fractions — never floats, so sums commute
+//! bit-exactly and the Prometheus exposition stays byte-deterministic
+//! however many threads observed.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Upper-inclusive bucket bounds `[1, 2, 4, ..., 2^(n-2)]` — the same
+/// power-of-two layout as the NoC latency histogram, for absorbing it
+/// bucket-for-bucket. `n` is the *total* bucket count including `+Inf`,
+/// so `n - 1` finite bounds are produced.
+#[must_use]
+pub fn pow2_bounds(n: usize) -> Vec<u64> {
+    (0..n.saturating_sub(1)).map(|i| 1u64 << i).collect()
+}
+
+/// A histogram over `u64` values with fixed upper-inclusive bucket bounds
+/// plus an implicit `+Inf` bucket, and a running sum for mean computation.
+#[derive(Debug)]
+pub struct Histogram {
+    /// Ascending upper-inclusive bounds; values `> bounds.last()` land in
+    /// the `+Inf` bucket.
+    bounds: Box<[u64]>,
+    /// One count per bound, plus the `+Inf` bucket at the end. Non-
+    /// cumulative here; the Prometheus renderer accumulates at exposition.
+    counts: Box<[AtomicU64]>,
+    sum: AtomicU64,
+}
+
+impl Histogram {
+    /// A histogram with the given ascending upper-inclusive bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty or not strictly ascending.
+    #[must_use]
+    pub fn new(bounds: &[u64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        Histogram {
+            bounds: bounds.into(),
+            counts: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// The bucket index `value` falls into.
+    #[inline]
+    fn bucket(&self, value: u64) -> usize {
+        // Linear scan: bucket counts are small (<= 32) and the common case
+        // (latencies, occupancies) exits early.
+        self.bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len())
+    }
+
+    /// Records one observation of `value`.
+    #[inline]
+    pub fn observe(&self, value: u64) {
+        self.observe_n(value, 1);
+    }
+
+    /// Records `n` observations of `value` in one shot (bulk absorption of
+    /// per-run simulator counters).
+    #[inline]
+    pub fn observe_n(&self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.counts[self.bucket(value)].fetch_add(n, Ordering::Relaxed);
+        self.sum.fetch_add(value.wrapping_mul(n), Ordering::Relaxed);
+    }
+
+    /// Merges pre-bucketed counts (e.g. the NoC latency histogram) into
+    /// this histogram, bucket for bucket, adding `sum` to the running sum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counts.len()` differs from this histogram's bucket count.
+    pub fn merge_counts(&self, counts: &[u64], sum: u64) {
+        assert_eq!(
+            counts.len(),
+            self.counts.len(),
+            "bucket layout mismatch in histogram merge"
+        );
+        for (slot, &n) in self.counts.iter().zip(counts) {
+            if n > 0 {
+                slot.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.sum.fetch_add(sum, Ordering::Relaxed);
+    }
+
+    /// The bucket bounds (without the implicit `+Inf`).
+    #[must_use]
+    pub fn bounds(&self) -> &[u64] {
+        &self.bounds
+    }
+
+    /// A coherent point-in-time copy. The total count is *derived* from the
+    /// bucket counts (never tracked separately), so a snapshot taken during
+    /// concurrent observation can lag but can never tear: `count()` always
+    /// equals the bucket sum, by construction.
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.bounds.to_vec(),
+            counts: self
+                .counts
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets all buckets and the sum to zero (exposition tooling only).
+    pub fn reset(&self) {
+        for c in self.counts.iter() {
+            c.store(0, Ordering::Relaxed);
+        }
+        self.sum.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`], mergeable with snapshots that
+/// share the same bucket layout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Ascending upper-inclusive bounds (no `+Inf` entry).
+    pub bounds: Vec<u64>,
+    /// Per-bucket counts; `counts[bounds.len()]` is the `+Inf` bucket.
+    pub counts: Vec<u64>,
+    /// Sum of all observed values.
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// Total observation count — always the bucket sum, so it cannot
+    /// disagree with the buckets.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Merges two snapshots bucket-wise. Associative and commutative with
+    /// bucket counts conserved (pinned by `tests/proptest_obs.rs`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bucket layouts differ.
+    #[must_use]
+    pub fn merge(&self, other: &HistogramSnapshot) -> HistogramSnapshot {
+        assert_eq!(self.bounds, other.bounds, "bucket layout mismatch");
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            counts: self
+                .counts
+                .iter()
+                .zip(&other.counts)
+                .map(|(a, b)| a + b)
+                .collect(),
+            sum: self.sum + other.sum,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucketing_is_upper_inclusive() {
+        let h = Histogram::new(&[1, 2, 4]);
+        for v in [0, 1, 1, 2, 3, 4, 5, 1_000] {
+            h.observe(v);
+        }
+        let s = h.snapshot();
+        // <=1: {0,1,1}; <=2: {2}; <=4: {3,4}; +Inf: {5,1000}.
+        assert_eq!(s.counts, vec![3, 1, 2, 2]);
+        assert_eq!(s.count(), 8);
+        assert_eq!(s.sum, 1_016);
+    }
+
+    #[test]
+    fn pow2_layout_matches_noc_latency_histogram() {
+        let b = pow2_bounds(32);
+        assert_eq!(b.len(), 31);
+        assert_eq!(b[0], 1);
+        assert_eq!(b[30], 1 << 30);
+        let h = Histogram::new(&b);
+        assert_eq!(h.snapshot().counts.len(), 32);
+    }
+
+    #[test]
+    fn merge_counts_bucket_for_bucket() {
+        let h = Histogram::new(&[1, 2]);
+        h.merge_counts(&[5, 0, 7], 40);
+        h.merge_counts(&[1, 1, 1], 2);
+        let s = h.snapshot();
+        assert_eq!(s.counts, vec![6, 1, 8]);
+        assert_eq!(s.sum, 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn unsorted_bounds_rejected() {
+        let _ = Histogram::new(&[2, 1]);
+    }
+}

@@ -1,0 +1,77 @@
+//! Allocation lock on the metric primitives themselves: once registered,
+//! `inc`/`add`/`observe`/`set` and span timing perform ZERO heap
+//! allocations — the obs half of the workspace-wide zero-allocation
+//! steady-state contract (the NoC half lives in
+//! `crates/noc/tests/alloc_regression.rs`).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use htpb_obs::span::{SpanTimer, SPAN_BOUNDS_US};
+use htpb_obs::{Class, Registry};
+
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+#[test]
+fn hot_path_operations_do_not_allocate() {
+    // Registration allocates (names, shards, buckets) — that is the deal:
+    // all allocation happens at enable time, before steady state.
+    let r = Registry::new();
+    let c = r.counter("c_total", "counter", Class::Sim);
+    let g = r.gauge("g", "gauge", Class::Timing);
+    let h = r.histogram("h_us", &SPAN_BOUNDS_US, "histogram", Class::Timing);
+
+    // Warm the thread-local shard assignment and the monotonic clock.
+    c.inc();
+    h.observe(1);
+    {
+        let _s = SpanTimer::start(&h);
+    }
+
+    let before = ALLOC_CALLS.load(Ordering::Relaxed);
+    for i in 0..100_000u64 {
+        c.inc();
+        c.add(3);
+        g.set(i as i64);
+        g.add(-1);
+        h.observe(i % 1_000);
+        h.observe_n(i % 17, 2);
+        let _span = SpanTimer::start(&h);
+    }
+    let after = ALLOC_CALLS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "metric hot-path operations heap-allocated"
+    );
+
+    // The work above was real, not optimised away.
+    assert_eq!(c.get(), 400_001);
+    assert!(h.snapshot().count() > 300_000);
+}

@@ -229,6 +229,107 @@ pub fn run_differential(scenario: &Scenario, config: &DiffConfig) -> Option<Dive
     None
 }
 
+/// Every observable of one optimized-network run that the metrics-identity
+/// property compares: cycle count, statistics and trace fingerprints, and
+/// a running digest of the delivered-packet stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct RunObservables {
+    cycle: u64,
+    stats_fp: u64,
+    trace_fp: Option<u64>,
+    delivered: u64,
+    latency_sum: u64,
+    hops_sum: u64,
+    modified: u64,
+}
+
+/// Drives `scenario` through the optimized network alone (same traffic,
+/// faults and drain policy as [`run_differential`]'s optimized side),
+/// with or without live metrics, and returns its observables plus how many
+/// active-router cycles the metric hooks tallied (0 when `metrics` is
+/// off).
+fn observe_optimized(
+    scenario: &Scenario,
+    config: &DiffConfig,
+    metrics: bool,
+) -> (RunObservables, u64) {
+    let mut net = Network::with_inspector(scenario.network_config(), build_fleet(scenario));
+    if metrics {
+        net.enable_metrics();
+    }
+    if scenario.has_faults() {
+        net.set_fault_hook(Box::new(scenario.fault_plan()));
+    }
+    let mut obs = RunObservables {
+        cycle: 0,
+        stats_fp: 0,
+        trace_fp: None,
+        delivered: 0,
+        latency_sum: 0,
+        hops_sum: 0,
+        modified: 0,
+    };
+    let fold = |net: &mut Network<TrojanFleet>, obs: &mut RunObservables| {
+        for d in net.drain_ejected() {
+            obs.delivered += 1;
+            obs.latency_sum = obs.latency_sum.wrapping_add(d.latency);
+            obs.hops_sum = obs.hops_sum.wrapping_add(u64::from(d.hops));
+            obs.modified += u64::from(d.modified);
+        }
+    };
+    let mut rng = SplitMix64::new(scenario.seed);
+    for _ in 0..scenario.cycles {
+        for src in 0..scenario.nodes() {
+            if let Some(packet) = scenario.traffic_for(&mut rng, src) {
+                let _ = net.inject(packet);
+            }
+        }
+        net.step();
+        fold(&mut net, &mut obs);
+    }
+    for _ in 0..config.drain_cycles {
+        if net.is_idle() {
+            break;
+        }
+        net.step();
+        fold(&mut net, &mut obs);
+    }
+    obs.cycle = net.cycle();
+    obs.stats_fp = net.stats().fingerprint();
+    obs.trace_fp = net.trace().map(htpb_noc::TraceBuffer::fingerprint);
+    let activity = net.metrics().map_or(0, |m| m.active_router_cycles);
+    (obs, activity)
+}
+
+/// The metamorphic **non-perturbation** property of the observability
+/// layer: running a scenario with live NoC metrics enabled must leave
+/// every simulation observable — cycle count, [`htpb_noc::NetworkStats`]
+/// fingerprint, [`htpb_noc::TraceBuffer`] fingerprint, and the full
+/// delivered-packet stream — bit-identical to a metrics-off run.
+///
+/// Returns `None` when the property holds, or a description of the first
+/// difference. Also fails when the metrics-on run *recorded nothing*
+/// despite delivering packets, so a dead metrics hook cannot make the
+/// check vacuously pass.
+#[must_use]
+pub fn run_metrics_identity(scenario: &Scenario, config: &DiffConfig) -> Option<String> {
+    let (off, _) = observe_optimized(scenario, config, false);
+    let (on, activity) = observe_optimized(scenario, config, true);
+    if off != on {
+        return Some(format!(
+            "metrics-on run perturbed the simulation: off {off:?} vs on {on:?}"
+        ));
+    }
+    if on.delivered > 0 && activity == 0 {
+        return Some(
+            "metrics-on run delivered packets but recorded no active-router cycles — \
+             the hooks are dead and the identity check is vacuous"
+                .to_string(),
+        );
+    }
+    None
+}
+
 /// Outcome of a batch of random differential runs.
 #[derive(Debug, Clone, Default)]
 pub struct BatchReport {

@@ -37,7 +37,9 @@ mod reference;
 mod scenario;
 mod shrink;
 
-pub use diff::{run_batch, run_differential, BatchReport, DiffConfig, Divergence};
+pub use diff::{
+    run_batch, run_differential, run_metrics_identity, BatchReport, DiffConfig, Divergence,
+};
 pub use reference::{RefStats, ReferenceNet};
 pub use scenario::{Scenario, SplitMix64};
 pub use shrink::shrink;

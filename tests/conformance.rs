@@ -7,7 +7,9 @@
 //! `Cargo.toml`); lives at the repository root next to the other
 //! cross-crate suites.
 
-use htpb_testkit::{run_batch, run_differential, shrink, DiffConfig, Scenario};
+use htpb_testkit::{
+    run_batch, run_differential, run_metrics_identity, shrink, DiffConfig, Scenario,
+};
 
 /// Checked-in regression corpus: one spec per line, `#` comments allowed.
 /// Every shrunk failure ever found gets appended here and replayed forever.
@@ -54,6 +56,34 @@ fn random_scenarios_agree() {
         report.failures[0].0,
         report.failures[0].1,
     );
+}
+
+/// Metamorphic property (PR 7's defining constraint): enabling live NoC
+/// metrics must not perturb the simulation. Every corpus scenario plus a
+/// batch of random ones runs twice — metrics-off and metrics-on — and the
+/// `NetworkStats` / `TraceBuffer` fingerprints, cycle counts and
+/// delivered-packet streams must be bit-identical. The oracle also fails
+/// if the metrics-on run recorded nothing, so the check cannot pass
+/// vacuously with dead hooks.
+#[test]
+fn metamorphic_metrics_do_not_perturb_corpus_or_random_scenarios() {
+    let config = DiffConfig::default();
+    for (spec, scenario) in corpus_scenarios() {
+        if let Some(why) = run_metrics_identity(&scenario, &config) {
+            panic!("corpus scenario {spec}\n  {why}");
+        }
+    }
+    // Each identity check is two optimized-network runs (no dense
+    // reference), so the release batch matches the issue's 200-scenario
+    // bar; debug builds step with every invariant assertion armed and get
+    // a smaller batch, like `random_scenarios_agree`.
+    let count = if cfg!(debug_assertions) { 40 } else { 200 };
+    for i in 0..count {
+        let scenario = Scenario::random(0x0000_B51D_u64.wrapping_add(i));
+        if let Some(why) = run_metrics_identity(&scenario, &config) {
+            panic!("random scenario {} (seed {i})\n  {why}", scenario.to_spec());
+        }
+    }
 }
 
 /// Metamorphic property: a Trojan fleet at duty 0 never activates, so the
