@@ -11,9 +11,7 @@
 //! `O(nodes · diameter)` — to drive the placement optimizer's inner loop
 //! over thousands of candidate placements.
 
-use std::collections::HashSet;
-
-use htpb_noc::{Mesh2d, NodeId};
+use htpb_noc::{FnvHashSet, Mesh2d, NodeId};
 
 /// Fraction of nodes whose XY route to `manager` passes through at least
 /// one node of `trojans` (the source and destination routers inspect
@@ -29,7 +27,7 @@ pub fn analytic_infection_rate(
     trojans: &[NodeId],
     attacker: Option<NodeId>,
 ) -> f64 {
-    let set: HashSet<NodeId> = trojans.iter().copied().collect();
+    let set: FnvHashSet<NodeId> = trojans.iter().copied().collect();
     if set.is_empty() {
         return 0.0;
     }
@@ -60,7 +58,7 @@ pub fn analytic_infection_rate_for_sources(
     trojans: &[NodeId],
     sources: &[NodeId],
 ) -> f64 {
-    let set: HashSet<NodeId> = trojans.iter().copied().collect();
+    let set: FnvHashSet<NodeId> = trojans.iter().copied().collect();
     if set.is_empty() || sources.is_empty() {
         return 0.0;
     }

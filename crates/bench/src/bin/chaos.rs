@@ -33,6 +33,8 @@
 //! and a `FAILURE.txt` diagnosis) is left under `results/chaos/` and the
 //! exit code is non-zero.
 
+#![forbid(unsafe_code)]
+
 use std::fs;
 use std::path::Path;
 use std::process::{Command, ExitCode, Stdio};
@@ -134,6 +136,7 @@ fn read_artefacts(outdir: &Path) -> Vec<(String, Vec<u8>)> {
 fn run_child(exe: &Path, dir: &Path, scale: ReproScale, verify: bool) -> Result<bool, String> {
     fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
     let log = |name: &str| -> Stdio {
+        // htpb-lint: allow(fs/choke-point) -- live child Stdio handle, not a durable artefact; atomicity is meaningless for a tee'd log
         fs::File::create(dir.join(name)).map_or_else(|_| Stdio::null(), Stdio::from)
     };
     let mut cmd = Command::new(exe);
@@ -171,6 +174,7 @@ fn run_child_killed_at(
 ) -> Result<bool, String> {
     fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
     let log = |name: &str| -> Stdio {
+        // htpb-lint: allow(fs/choke-point) -- live child Stdio handle, not a durable artefact; atomicity is meaningless for a tee'd log
         fs::File::create(dir.join(name)).map_or_else(|_| Stdio::null(), Stdio::from)
     };
     let mut child = Command::new(exe)
@@ -379,7 +383,11 @@ fn fail_trial(dir: &Path, label: &str, why: &str) -> ExitCode {
         "chaos {label} FAILED: {why}\nwork dir kept for post-mortem: {}\n",
         dir.display()
     );
-    let _ = fs::write(dir.join("FAILURE.txt"), &report);
+    let _ = htpb_harness::commit_file(
+        &htpb_harness::StdFs,
+        &dir.join("FAILURE.txt"),
+        report.as_bytes(),
+    );
     eprint!("{report}");
     ExitCode::FAILURE
 }

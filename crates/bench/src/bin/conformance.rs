@@ -23,7 +23,8 @@
 //! on and its fingerprints must equal the metrics-off ones (the
 //! observability layer's non-perturbation contract, docs/OBSERVABILITY.md).
 
-use std::io::Write as _;
+#![forbid(unsafe_code)]
+
 use std::path::PathBuf;
 
 use htpb_harness::{run_jobs, JobOutput, JobSpec, Journal, RunOptions};
@@ -143,17 +144,16 @@ fn main() {
     }
     std::fs::create_dir_all(&outdir).expect("create output dir");
     let path = outdir.join("conformance_failures.txt");
-    let mut f = std::fs::File::create(&path).expect("create failure artifact");
-    writeln!(
-        f,
+    let mut doc = format!(
         "# Shrunk divergence specs (seed {seed:#x}, {count} scenarios).\n\
          # Replay: add the spec line to crates/testkit/corpus/conformance.txt\n\
-         # or feed it to Scenario::from_spec; see docs/TESTING.md."
-    )
-    .unwrap();
+         # or feed it to Scenario::from_spec; see docs/TESTING.md.\n"
+    );
     for (spec, detail) in &failures {
-        writeln!(f, "{spec}\n# ^ {detail}").unwrap();
+        doc.push_str(&format!("{spec}\n# ^ {detail}\n"));
     }
+    htpb_harness::commit_file(&htpb_harness::StdFs, &path, doc.as_bytes())
+        .expect("write failure artifact");
     eprintln!(
         "conformance: FAIL — {} divergences, specs written to {}",
         failures.len(),

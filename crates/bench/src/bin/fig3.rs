@@ -11,6 +11,8 @@
 //! Points are computed as independent harness jobs; `--jobs N` parallelises
 //! them, `--no-cache` / `--resume` control `results/.cache/` reuse.
 
+#![forbid(unsafe_code)]
+
 use std::path::Path;
 use std::process::ExitCode;
 

@@ -8,6 +8,8 @@
 //! every size; at 256 nodes with N/16 HTs the paper reports the center
 //! cluster at 1.59× the random rate and 9.85× the corner rate.
 
+#![forbid(unsafe_code)]
+
 use htpb_bench::{banner, timed};
 use htpb_core::{fig4_series, PlacementStrategy, Series};
 

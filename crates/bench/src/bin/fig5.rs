@@ -10,6 +10,8 @@
 //! parallelises them, `--no-cache` / `--resume` control `results/.cache/`
 //! reuse.
 
+#![forbid(unsafe_code)]
+
 use std::path::Path;
 use std::process::ExitCode;
 

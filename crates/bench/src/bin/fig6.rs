@@ -7,6 +7,8 @@
 //! - (c) mix-3 at infection 0.5: the attacker improves by up to ≈1.35×;
 //! - (d) mix-4 at infection 0.5: victims degrade to ≈0.8×.
 
+#![forbid(unsafe_code)]
+
 use htpb_bench::{banner, timed};
 use htpb_core::{attack_sweep, AppRole, CampaignConfig, Mix, Series};
 

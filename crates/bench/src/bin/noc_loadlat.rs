@@ -9,6 +9,8 @@
 //!
 //! Usage: `cargo run --release -p htpb-bench --bin noc_loadlat [-- nodes]`
 
+#![forbid(unsafe_code)]
+
 use htpb_bench::banner;
 use htpb_core::{Mesh2d, Network, NetworkConfig, PacketKind, RoutingKind};
 use htpb_noc::{TrafficPattern, UniformTraffic};

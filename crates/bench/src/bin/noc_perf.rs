@@ -26,6 +26,8 @@
 //!   Counter totals cover all [`RUNS`] timing runs of each scenario, not
 //!   just the best one.
 
+#![forbid(unsafe_code)]
+
 use std::process::ExitCode;
 use std::time::Instant;
 
@@ -206,7 +208,11 @@ fn write_json(path: &str, smoke: bool, results: &[(&str, Outcome)]) -> std::io::
         ("runs", Value::Int(RUNS as i64)),
         ("scenarios", Value::Arr(scenarios)),
     ]);
-    std::fs::write(path, doc.render() + "\n")
+    htpb_harness::commit_file(
+        &htpb_harness::StdFs,
+        path.as_ref(),
+        (doc.render() + "\n").as_bytes(),
+    )
 }
 
 /// Gates the measured numbers on the committed `BENCH_noc.json`. Returns

@@ -6,6 +6,8 @@
 //! Paper shapes to reproduce: the optimized placement improves Q by ≈30%
 //! for mixes 1–3 and by as much as ≈110% for mix-4.
 
+#![forbid(unsafe_code)]
+
 use htpb_bench::{banner, pct, timed};
 use htpb_core::{optimal_vs_random, CampaignConfig, Mix};
 

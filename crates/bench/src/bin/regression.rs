@@ -10,6 +10,8 @@
 //! Expected signs (Section IV-B): a₁ < 0 (farther virtual center → weaker
 //! attack), a₃ > 0 (more Trojans → stronger attack).
 
+#![forbid(unsafe_code)]
+
 use htpb_bench::{banner, timed};
 use htpb_core::{
     regression_dataset, AttackModel, CampaignConfig, ManagerLocation, Mesh2d, Mix, Placement,

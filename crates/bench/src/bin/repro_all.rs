@@ -31,6 +31,8 @@
 //! per-stage timings to `results/journal.jsonl` (see
 //! `docs/CRASH_SAFETY.md`).
 
+#![forbid(unsafe_code)]
+
 use std::path::Path;
 use std::process::ExitCode;
 

@@ -17,6 +17,8 @@
 //! `results/RESILIENCE.txt` (graceful-degradation and attack-effect shape
 //! checks); per-job timings land in `results/journal.jsonl`.
 
+#![forbid(unsafe_code)]
+
 use std::path::Path;
 use std::process::ExitCode;
 

@@ -4,6 +4,8 @@
 //! These are the paper's stealth numbers and are reproduced exactly — they
 //! are arithmetic over the recorded synthesis constants.
 
+#![forbid(unsafe_code)]
+
 use htpb_bench::banner;
 use htpb_core::{AreaReport, HT_AREA_UM2, HT_POWER_UW, ROUTER_AREA_UM2, ROUTER_POWER_UW};
 

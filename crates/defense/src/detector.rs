@@ -1,6 +1,4 @@
-use std::collections::HashMap;
-
-use htpb_noc::NodeId;
+use htpb_noc::{FnvHashMap, NodeId};
 use htpb_power::RequestEnvelope;
 
 /// Tuning of the [`RequestAnomalyDetector`].
@@ -73,7 +71,7 @@ struct CoreTrack {
 #[derive(Debug, Clone)]
 pub struct RequestAnomalyDetector {
     config: DetectorConfig,
-    tracks: HashMap<NodeId, CoreTrack>,
+    tracks: FnvHashMap<NodeId, CoreTrack>,
     events: Vec<AnomalyEvent>,
 }
 
@@ -83,7 +81,7 @@ impl RequestAnomalyDetector {
     pub fn new(config: DetectorConfig) -> Self {
         RequestAnomalyDetector {
             config,
-            tracks: HashMap::new(),
+            tracks: FnvHashMap::default(),
             events: Vec::new(),
         }
     }

@@ -25,8 +25,11 @@
 //!
 //! **Enforcement:** no other module under `crates/harness/src` may call
 //! `File::create`, `fs::write`, `fs::rename` or `OpenOptions` directly
-//! (outside `#[cfg(test)]` code, which deliberately corrupts files); the
-//! `choke_point_enforced` test greps the sources.
+//! (outside `#[cfg(test)]` code, which deliberately corrupts files). The
+//! `fs/choke-point` rule of the workspace analyzer (docs/LINTS.md)
+//! checks this at the token level; the `choke_point_enforced` test in
+//! `tests/crash_safety.rs` runs that rule, and this file is the single
+//! waived-by-scope exception.
 
 use std::fs::{File, OpenOptions};
 use std::io::{self, Write as _};
@@ -344,40 +347,5 @@ mod tests {
         assert!(commit_file(&fs, &target, b"new").is_err());
         assert_eq!(StdFs.read(&target).unwrap(), b"old", "old state survives");
         let _ = std::fs::remove_dir_all(&dir);
-    }
-
-    /// The acceptance-criteria grep: every durable write in this crate goes
-    /// through the commit choke points. Outside `fs.rs`, no production code
-    /// may call the raw creating/renaming std APIs — `#[cfg(test)]` modules
-    /// are exempt (they deliberately corrupt files to test recovery).
-    #[test]
-    fn choke_point_enforced() {
-        let src = Path::new(env!("CARGO_MANIFEST_DIR")).join("src");
-        let forbidden = [
-            "std::fs::write",
-            "fs::write(",
-            "fs::rename(",
-            "File::create",
-            "OpenOptions",
-        ];
-        for entry in std::fs::read_dir(&src).unwrap() {
-            let path = entry.unwrap().path();
-            if path.extension().is_none_or(|e| e != "rs")
-                || path.file_name().is_some_and(|f| f == "fs.rs")
-            {
-                continue;
-            }
-            let text = std::fs::read_to_string(&path).unwrap();
-            // Only scan production code: everything before the test module.
-            let production = text.split("#[cfg(test)]").next().unwrap_or(&text);
-            for pattern in forbidden {
-                assert!(
-                    !production.contains(pattern),
-                    "{}: raw `{pattern}` outside fs.rs — route it through \
-                     commit_file()/commit_append()",
-                    path.display()
-                );
-            }
-        }
     }
 }

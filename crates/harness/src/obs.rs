@@ -53,54 +53,53 @@ pub fn harness_metrics() -> &'static HarnessMetrics {
     static METRICS: OnceLock<HarnessMetrics> = OnceLock::new();
     METRICS.get_or_init(|| {
         let r = global();
-        let t = Class::Timing;
         HarnessMetrics {
-            jobs_total: r.counter("htpb_harness_jobs_total", "Jobs completed", t),
+            jobs_total: r.counter("htpb_harness_jobs_total", "Jobs completed", Class::Timing),
             failures_total: r.counter(
                 "htpb_harness_job_failures_total",
                 "Jobs whose final attempt failed",
-                t,
+                Class::Timing,
             ),
             cache_hits_total: r.counter(
                 "htpb_harness_cache_hits_total",
                 "Jobs served from the result cache",
-                t,
+                Class::Timing,
             ),
             cache_misses_total: r.counter(
                 "htpb_harness_cache_misses_total",
                 "Jobs that executed (result-cache miss)",
-                t,
+                Class::Timing,
             ),
             baseline_hits_total: r.counter(
                 "htpb_harness_baseline_hits_total",
                 "Jobs whose clean baseline was memoized",
-                t,
+                Class::Timing,
             ),
             baseline_misses_total: r.counter(
                 "htpb_harness_baseline_misses_total",
                 "Jobs that computed their clean baseline",
-                t,
+                Class::Timing,
             ),
             retries_total: r.counter(
                 "htpb_harness_job_retries_total",
                 "Retry attempts dispatched",
-                t,
+                Class::Timing,
             ),
             timeouts_total: r.counter(
                 "htpb_harness_job_timeouts_total",
                 "Attempts that hit the per-job wall-clock limit",
-                t,
+                Class::Timing,
             ),
             queue_depth: r.gauge(
                 "htpb_harness_queue_depth",
                 "Jobs not yet finished in the running pool invocation",
-                t,
+                Class::Timing,
             ),
             job_ms: r.histogram(
                 "htpb_harness_job_wall_ms",
                 &htpb_obs::pow2_bounds(JOB_MS_BUCKETS),
                 "Per-job wall time in milliseconds",
-                t,
+                Class::Timing,
             ),
         }
     })

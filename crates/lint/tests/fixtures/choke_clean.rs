@@ -1,0 +1,7 @@
+//! Fixture: durable write routed through the commit choke point — quiet
+//! (the string below mentioning fs::write must not fire either).
+pub const DOC: &str = "never call fs::write or File::create directly";
+
+pub fn emit(path: &std::path::Path, bytes: &[u8]) -> std::io::Result<()> {
+    commit_file(&StdFs, path, bytes)
+}

@@ -1,0 +1,5 @@
+//! Fixture: raw durable write outside `crates/harness/src/fs.rs` — fires
+//! `fs/choke-point`.
+pub fn emit(path: &std::path::Path, bytes: &[u8]) -> std::io::Result<()> {
+    std::fs::write(path, bytes)
+}

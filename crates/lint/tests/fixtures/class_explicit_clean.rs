@@ -1,0 +1,11 @@
+//! Fixture: every registration names a literal `Class::...` — quiet, even
+//! with a nested call in the argument list.
+pub fn instruments(r: &Registry) -> Arc<Histogram> {
+    r.counter("htpb_defense_flags_total", "Requests flagged", Class::Sim);
+    r.histogram(
+        "htpb_defense_score",
+        &pow2_bounds(8),
+        "Anomaly score",
+        Class::Sim,
+    )
+}

@@ -1,0 +1,5 @@
+//! Fixture: obs series registered through a variable instead of a literal
+//! determinism class — fires `obs/class-explicit`.
+pub fn instruments(r: &Registry, class: Class) -> Arc<Counter> {
+    r.counter("htpb_defense_flags_total", "Requests flagged", class)
+}

@@ -1,0 +1,8 @@
+//! Fixture: explicitly seeded RNG — quiet (a `thread_rng` that only ever
+//! appears in a string stays hidden from the rules).
+pub const HELP: &str = "never call thread_rng() in sim code";
+
+pub fn jitter(seed: u64) -> u64 {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    rng.next_u64()
+}

@@ -1,0 +1,5 @@
+//! Fixture: entropy-seeded RNG in a sim crate — fires `determinism/entropy`.
+pub fn jitter() -> u64 {
+    let mut rng = thread_rng();
+    rng.next_u64()
+}

@@ -1,0 +1,5 @@
+//! Fixture: a crate root carrying the attribute — quiet.
+
+#![forbid(unsafe_code)]
+
+pub mod seeded;

@@ -1,0 +1,4 @@
+//! Fixture: a crate root without `#![forbid(unsafe_code)]` — fires
+//! `unsafe/forbid-missing`.
+
+pub mod seeded;

@@ -1,0 +1,20 @@
+//! Fixture: a clean hot region (index math and scratch reuse only), with
+//! allocations confined to cold construction code outside the markers.
+pub fn new(ports: usize) -> Self {
+    Self {
+        scratch: Vec::new(),
+        table: vec![0u32; ports],
+    }
+}
+
+// htpb-lint: hot
+pub fn step(&mut self) {
+    for slot in 0..self.table.len() {
+        self.table[slot] = self.table[slot].wrapping_add(1);
+    }
+}
+// htpb-lint: end-hot
+
+pub fn summary(&self) -> String {
+    format!("{} slots", self.table.len())
+}

@@ -1,0 +1,8 @@
+//! Fixture: heap allocation inside a marked hot region — fires
+//! `alloc/hot-loop`.
+// htpb-lint: hot
+pub fn step(&mut self) {
+    let scratch = vec![0u8; self.ports];
+    self.consume(&scratch);
+}
+// htpb-lint: end-hot

@@ -1,0 +1,17 @@
+//! Fixture: every forbidden name below sits inside a string, raw string,
+//! char context or comment — the token-level rules must stay silent.
+//! HashMap Instant::now() thread_rng fs::write OpenOptions vec![] says
+//! this doc comment, and none of it is a token.
+
+pub const PLAIN: &str = "use std::collections::HashMap; Instant::now(); thread_rng()";
+pub const RAW: &str = r#"fs::write("x", "y") and OpenOptions::new() and a " quote"#;
+pub const RAW_HASHED: &str = r##"nested r#"File::create"# inside"##;
+pub const BYTES: &[u8] = b"SystemTime::now() vec![Box::new(1)]";
+
+/* block comment: format!("{}", String::from("x"))
+   /* nested: .collect::<Vec<_>>() to_owned() */
+   still inside the outer comment */
+
+pub fn quotes(c: char) -> bool {
+    c == '"' || c == '\'' || c == '\\'
+}

@@ -1,0 +1,10 @@
+//! Fixture: recovery code that bubbles errors — quiet. `unwrap_or` and
+//! `expect_err`-style near-misses must not fire.
+pub fn resume(path: &std::path::Path) -> io::Result<Epoch> {
+    let state = read_state(path)?;
+    Ok(state.epoch_or(Epoch::default()))
+}
+
+pub fn budget(limit: Option<u32>) -> u32 {
+    limit.unwrap_or(DEFAULT_LIMIT)
+}

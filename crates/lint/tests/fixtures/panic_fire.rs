@@ -1,0 +1,6 @@
+//! Fixture: a panic in the recovery state machine — fires
+//! `panic/recovery-path` (scoped to campaign.rs / fs.rs).
+pub fn resume(path: &std::path::Path) -> Epoch {
+    let state = read_state(path).unwrap();
+    state.epoch
+}

@@ -1,0 +1,7 @@
+//! Fixture: harness instruments labelled `Class::Timing` — quiet. The
+//! doc string naming Class::Sim must not fire either.
+pub const NOTE: &str = "harness series are never Class::Sim";
+
+pub fn instruments(r: &Registry) -> Arc<Counter> {
+    r.counter("htpb_harness_jobs_total", "Jobs completed", Class::Timing)
+}

@@ -1,0 +1,7 @@
+//! Fixture: FNV-keyed map — deterministic iteration; `determinism/std-hash`
+//! stays quiet (and so does a `HashMap` mentioned only in this comment).
+use crate::fnv::FnvHashMap;
+
+pub struct Tracker {
+    seen: FnvHashMap<u64, u32>,
+}

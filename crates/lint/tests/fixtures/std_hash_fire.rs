@@ -1,0 +1,6 @@
+//! Fixture: SipHash-keyed map in a sim crate — fires `determinism/std-hash`.
+use std::collections::HashMap;
+
+pub struct Tracker {
+    seen: HashMap<u64, u32>,
+}

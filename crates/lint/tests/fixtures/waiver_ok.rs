@@ -1,0 +1,4 @@
+//! Fixture: justified waivers suppress findings and land in the tally.
+pub fn seen() -> std::collections::HashSet<u64> { // htpb-lint: allow(determinism/std-hash) -- fixture: contains-only set, never iterated
+    std::collections::HashSet::default() // htpb-lint: allow(determinism/std-hash) -- fixture: contains-only set, never iterated
+}

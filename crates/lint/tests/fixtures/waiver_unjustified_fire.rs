@@ -1,0 +1,6 @@
+//! Fixture: a waiver with no ` -- justification` — fires `lint/marker`
+//! (and the underlying finding stays live: an unjustified waiver waives
+//! nothing).
+pub fn emit(path: &std::path::Path, bytes: &[u8]) -> std::io::Result<()> {
+    std::fs::write(path, bytes) // htpb-lint: allow(fs/choke-point)
+}

@@ -1,0 +1,5 @@
+//! Fixture: simulated time derived from the cycle counter — quiet
+//! (`Instant::now` appearing in this comment must not fire).
+pub fn stamp(cycle: u64, epoch_len: u64) -> u64 {
+    cycle / epoch_len.max(1)
+}

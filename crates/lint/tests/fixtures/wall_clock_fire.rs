@@ -1,0 +1,4 @@
+//! Fixture: host-clock read in a sim crate — fires `determinism/wall-clock`.
+pub fn stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}

@@ -1,0 +1,139 @@
+//! Property tests for the lexer/rule boundary: however forbidden names
+//! are wrapped in strings, raw strings, char literals or (nested) block
+//! comments, the rules must stay silent — and however adversarial the
+//! input, the lexer must terminate without panicking and report sane line
+//! numbers.
+
+use proptest::prelude::*;
+
+use htpb_lint::lexer::lex;
+use htpb_lint::{analyze_source, FileCtx};
+
+/// The forbidden spellings the rules hunt for (none contain quotes, so
+/// they embed safely in any literal form below).
+const FORBIDDEN: &[&str] = &[
+    "std::collections::HashMap",
+    "HashSet",
+    "Instant::now()",
+    "SystemTime",
+    "thread_rng()",
+    "OsRng",
+    "fs::write",
+    "File::create",
+    "OpenOptions",
+    "Class::Sim",
+];
+
+fn sim_ctx() -> FileCtx<'static> {
+    FileCtx {
+        path: "crates/noc/src/prop.rs",
+        crate_name: "noc",
+        in_test_dir: false,
+        is_crate_root: false,
+    }
+}
+
+fn forbidden() -> impl Strategy<Value = &'static str> {
+    proptest::sample::select(FORBIDDEN.to_vec())
+}
+
+/// Soup fragments chosen to stress every lexer mode transition.
+fn fragment() -> impl Strategy<Value = &'static str> {
+    proptest::sample::select(vec![
+        "\"", "r#\"", "\"#", "/*", "*/", "//", "'", "'a", "\\", "\n", " ", "::", "#", "[", "]",
+        "(", ")", "{", "}", "!", ".", "b\"", "r\"", "0.5", "1.", "..", "HashMap", "vec", "format",
+        "e8", "fs", "write",
+    ])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// A forbidden name inside a plain string, raw string or comment can
+    /// never fire a rule, no matter which wrapper is chosen.
+    #[test]
+    fn wrapped_forbidden_names_never_fire(
+        name in forbidden(),
+        wrapper in 0usize..4,
+        pad in proptest::collection::vec(fragment(), 0..6),
+    ) {
+        let padding: String = pad.concat();
+        let wrapped = match wrapper {
+            0 => format!("pub const X: &str = \"{name}\";"),
+            1 => format!("pub const X: &str = r#\"{name}\"#;"),
+            2 => format!("// says {name}"),
+            _ => format!("/* outer /* {name} */ inner */ pub fn f() {{}}"),
+        };
+        // The padding goes into its own comment line so it cannot open an
+        // unterminated literal that swallows the wrapper.
+        let src = format!("{wrapped}\n// pad: {}\n", padding.replace('\n', " "));
+        let report = analyze_source(&sim_ctx(), &src);
+        prop_assert!(
+            report.violations.is_empty(),
+            "wrapper {wrapper} leaked `{name}`: {:?}",
+            report.violations.iter().map(htpb_lint::Violation::render).collect::<Vec<_>>()
+        );
+    }
+
+    /// The same name written as real code always fires, regardless of
+    /// comment/string noise around it.
+    #[test]
+    fn unwrapped_forbidden_names_always_fire(
+        noise in proptest::collection::vec(fragment(), 0..8),
+    ) {
+        let noise: String = noise.concat();
+        let src = format!(
+            "// noise: {}\npub fn f() {{ let m = std::collections::HashMap::new(); }}\n",
+            noise.replace('\n', " ")
+        );
+        let report = analyze_source(&sim_ctx(), &src);
+        prop_assert!(
+            report.violations.iter().any(|v| v.rule == "determinism/std-hash"),
+            "code-level HashMap hidden by noise {noise:?}"
+        );
+    }
+
+    /// The lexer terminates on arbitrary fragment soup (including
+    /// unterminated strings and comments) and its line numbers stay
+    /// within the file.
+    #[test]
+    fn lexer_total_and_lines_sane(
+        soup in proptest::collection::vec(fragment(), 0..64),
+    ) {
+        let src: String = soup.concat();
+        let lexed = lex(&src);
+        let total = src.lines().count().max(1) as u32 + 1;
+        for t in &lexed.tokens {
+            prop_assert!(t.line >= 1 && t.line <= total, "token line {} of {total}", t.line);
+        }
+        for c in &lexed.comments {
+            prop_assert!(c.line >= 1 && c.line <= total);
+        }
+        // Token lines are non-decreasing (comments interleave separately).
+        for w in lexed.tokens.windows(2) {
+            prop_assert!(w[0].line <= w[1].line);
+        }
+    }
+
+    /// Waiver grammar round-trip: a generated, justified waiver over a
+    /// generated violation always suppresses exactly that finding.
+    #[test]
+    fn generated_waivers_suppress(
+        words in proptest::collection::vec(
+            proptest::sample::select(vec![
+                "alias", "definition", "contains", "only", "never", "iterated",
+                "fixture", "scratch", "diagnostic",
+            ]),
+            1..6,
+        ),
+    ) {
+        let why = words.join(" ");
+        let src = format!(
+            "use std::collections::HashMap; // htpb-lint: allow(determinism/std-hash) -- {why}\n",
+        );
+        let report = analyze_source(&sim_ctx(), &src);
+        prop_assert!(report.violations.is_empty(), "{:?}",
+            report.violations.iter().map(htpb_lint::Violation::render).collect::<Vec<_>>());
+        prop_assert_eq!(report.waived.len(), 1);
+    }
+}

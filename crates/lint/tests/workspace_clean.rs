@@ -1,0 +1,30 @@
+//! The acceptance gate as a test: the actual workspace must be lint-clean
+//! — zero live violations, every waiver justified — so `cargo test` fails
+//! exactly where the CI `htpb-lint --check` step would.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..");
+    let report = htpb_lint::analyze_workspace(&root).expect("scan workspace");
+    assert!(
+        report.files_scanned > 100,
+        "suspiciously few files scanned ({}) — walker broken?",
+        report.files_scanned
+    );
+    assert!(
+        report.violations.is_empty(),
+        "workspace has lint violations:\n{}",
+        report
+            .violations
+            .iter()
+            .map(htpb_lint::Violation::render)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    // Waivers are by construction justified (unjustified ones are
+    // violations); surface the tally so `--nocapture` shows the standing
+    // exceptions.
+    println!("{}", report.waiver_tally());
+}

@@ -47,7 +47,10 @@ impl Hasher for FnvHasher {
 pub type FnvBuildHasher = BuildHasherDefault<FnvHasher>;
 
 /// A `HashMap` keyed by FNV-1a — the simulator's hot-path map type.
-pub type FnvHashMap<K, V> = std::collections::HashMap<K, V, FnvBuildHasher>;
+pub type FnvHashMap<K, V> = std::collections::HashMap<K, V, FnvBuildHasher>; // htpb-lint: allow(determinism/std-hash) -- alias definition; the FNV hasher replaces SipHash here
+
+/// A `HashSet` keyed by FNV-1a, the companion to [`FnvHashMap`].
+pub type FnvHashSet<T> = std::collections::HashSet<T, FnvBuildHasher>; // htpb-lint: allow(determinism/std-hash) -- alias definition; the FNV hasher replaces SipHash here
 
 /// An incrementally built, platform-stable 64-bit FNV-1a fingerprint.
 ///

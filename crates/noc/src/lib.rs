@@ -53,7 +53,7 @@ mod vc;
 pub use error::NocError;
 pub use fault::{FaultAction, FaultHook};
 pub use flit::{Flit, FlitKind, FLITS_PER_DATA_PACKET, FLITS_PER_META_PACKET, FLIT_SIZE_BITS};
-pub use fnv::{Digest, FnvBuildHasher, FnvHashMap, FnvHasher};
+pub use fnv::{Digest, FnvBuildHasher, FnvHashMap, FnvHashSet, FnvHasher};
 pub use inspect::{InspectOutcome, NullInspector, PacketInspector};
 pub use metrics::{NocMetrics, VC_OCCUPANCY_BUCKETS};
 pub use network::{DeliveredPacket, Network, NetworkConfig};

@@ -49,6 +49,7 @@ pub struct NocMetrics {
 }
 
 impl NocMetrics {
+    // htpb-lint: hot
     /// Called once per stepped cycle with the current worklist sizes.
     #[inline]
     pub(crate) fn on_cycle(&mut self, active_routers: usize, busy_links: usize, queued: usize) {
@@ -70,6 +71,7 @@ impl NocMetrics {
         let bucket = occupancy.saturating_sub(1).min(VC_OCCUPANCY_BUCKETS - 1);
         self.vc_occupancy[bucket] += 1;
     }
+    // htpb-lint: end-hot
 
     /// Total pushes recorded in the occupancy histogram.
     #[must_use]

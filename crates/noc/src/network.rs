@@ -382,6 +382,7 @@ impl<I: PacketInspector> Network<I> {
     }
 
     /// Advances the network by one cycle.
+    // htpb-lint: hot
     pub fn step(&mut self) {
         if self.is_quiescent() {
             // Every stage is a no-op on a quiet network (faults included:
@@ -413,6 +414,7 @@ impl<I: PacketInspector> Network<I> {
         #[cfg(debug_assertions)]
         self.debug_check_invariants();
     }
+    // htpb-lint: end-hot
 
     /// Always-on (debug builds) end-of-cycle invariant audit: packet
     /// conservation every cycle, plus — every 64th cycle, because they
@@ -503,6 +505,7 @@ impl<I: PacketInspector> Network<I> {
     }
 
     /// Advances the network `n` cycles.
+    // htpb-lint: hot
     pub fn step_n(&mut self, n: u64) {
         if self.is_quiescent() {
             self.cycle += n;
@@ -542,7 +545,11 @@ impl<I: PacketInspector> Network<I> {
     fn link_index(&self, node: NodeId, dir: Direction) -> usize {
         node.0 as usize * 4 + dir.index()
     }
+    // end of the step_n/run_until_idle driver region; the per-stage region
+    // below re-opens because debug audits between them allocate freely.
+    // htpb-lint: end-hot
 
+    // htpb-lint: hot
     /// Stage 1: switch allocation + traversal. Each output port of each
     /// router forwards at most one flit per cycle, picked round-robin over
     /// the eligible (input port, VC) pairs. Virtual channels whose packet an
@@ -959,6 +966,7 @@ impl<I: PacketInspector> Network<I> {
             });
         }
     }
+    // htpb-lint: end-hot
 }
 
 impl<I: PacketInspector + std::fmt::Debug> std::fmt::Debug for Network<I> {

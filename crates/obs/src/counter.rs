@@ -62,6 +62,7 @@ impl Counter {
         Self::default()
     }
 
+    // htpb-lint: hot
     /// Adds one.
     #[inline]
     pub fn inc(&self) {
@@ -73,6 +74,7 @@ impl Counter {
     pub fn add(&self, n: u64) {
         self.shards[shard_index()].0.fetch_add(n, Ordering::Relaxed);
     }
+    // htpb-lint: end-hot
 
     /// The current total across all shards.
     ///
@@ -109,6 +111,7 @@ impl Gauge {
         Self::default()
     }
 
+    // htpb-lint: hot
     /// Sets the gauge.
     #[inline]
     pub fn set(&self, v: i64) {
@@ -120,6 +123,7 @@ impl Gauge {
     pub fn add(&self, delta: i64) {
         self.value.fetch_add(delta, Ordering::Relaxed);
     }
+    // htpb-lint: end-hot
 
     /// The current value.
     #[must_use]

@@ -52,6 +52,7 @@ impl Histogram {
     }
 
     /// The bucket index `value` falls into.
+    // htpb-lint: hot
     #[inline]
     fn bucket(&self, value: u64) -> usize {
         // Linear scan: bucket counts are small (<= 32) and the common case
@@ -78,6 +79,7 @@ impl Histogram {
         self.counts[self.bucket(value)].fetch_add(n, Ordering::Relaxed);
         self.sum.fetch_add(value.wrapping_mul(n), Ordering::Relaxed);
     }
+    // htpb-lint: end-hot
 
     /// Merges pre-bucketed counts (e.g. the NoC latency histogram) into
     /// this histogram, bucket for bucket, adding `sum` to the running sum.

@@ -128,7 +128,7 @@ impl Registry {
     /// Panics if `name` is already registered with a different kind or
     /// class.
     pub fn counter(&self, name: &str, help: &str, class: Class) -> Arc<Counter> {
-        self.counter_with(name, &[], help, class)
+        self.counter_with(name, &[], help, class) // htpb-lint: allow(obs/class-explicit) -- registry-internal delegation; the literal Class lives at the caller's registration site
     }
 
     /// Gets or creates a counter carrying the given label pairs (one series

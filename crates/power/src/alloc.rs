@@ -460,8 +460,9 @@ impl PowerAllocator for DpAllocator {
 /// "irrespective of the algorithm" property the paper exploits.
 #[derive(Debug, Clone)]
 pub struct MarketAllocator {
-    /// Per-core currency balance (defaults to 1.0 for new bidders).
-    balances: std::collections::HashMap<u16, f64>,
+    /// Per-core currency balance (defaults to 1.0 for new bidders),
+    /// sorted by core id so lookups bisect and iteration is deterministic.
+    balances: Vec<(u16, f64)>,
     /// Rebate rate for unmet demand, per epoch.
     rebate: f64,
 }
@@ -477,7 +478,7 @@ impl MarketAllocator {
     #[must_use]
     pub fn new(rebate: f64) -> Self {
         MarketAllocator {
-            balances: std::collections::HashMap::new(),
+            balances: Vec::new(),
             rebate: rebate.clamp(0.0, 1.0),
         }
     }
@@ -485,7 +486,23 @@ impl MarketAllocator {
     /// A core's current currency balance (diagnostics).
     #[must_use]
     pub fn balance(&self, core: u16) -> f64 {
-        self.balances.get(&core).copied().unwrap_or(1.0)
+        match self.balances.binary_search_by_key(&core, |&(c, _)| c) {
+            Ok(i) => self.balances[i].1,
+            Err(_) => 1.0,
+        }
+    }
+
+    /// Mutable balance for `core`, inserting the neutral 1.0 at its sorted
+    /// position for first-time bidders.
+    fn balance_mut(&mut self, core: u16) -> &mut f64 {
+        let i = match self.balances.binary_search_by_key(&core, |&(c, _)| c) {
+            Ok(i) => i,
+            Err(i) => {
+                self.balances.insert(i, (core, 1.0));
+                i
+            }
+        };
+        &mut self.balances[i].1
     }
 }
 
@@ -528,13 +545,14 @@ impl PowerAllocator for MarketAllocator {
         enforce_contract(&mut grants, requests, budget_mw);
         // Rebate unmet demand into balances; satisfied bidders decay back
         // towards the neutral balance of 1.0.
+        let rebate = self.rebate;
         for (g, r) in grants.iter().zip(requests) {
             let bid = if r.milliwatts.is_nan() {
                 0.0
             } else {
                 r.milliwatts.max(0.0)
             };
-            let balance = self.balances.entry(r.core).or_insert(1.0);
+            let balance = self.balance_mut(r.core);
             if bid > 0.0 && g.milliwatts < bid {
                 // An infinite bid is fully unmet by definition; dividing by
                 // it would make the unmet fraction `∞/∞ = NaN` and poison
@@ -544,7 +562,7 @@ impl PowerAllocator for MarketAllocator {
                 } else {
                     1.0
                 };
-                *balance += self.rebate * unmet;
+                *balance += rebate * unmet;
             } else {
                 *balance = 1.0 + (*balance - 1.0) * 0.5;
             }

@@ -1,6 +1,6 @@
-use std::collections::HashMap;
-
-use htpb_noc::{ActivationSignal, InspectOutcome, Mesh2d, NodeId, Packet, PacketInspector};
+use htpb_noc::{
+    ActivationSignal, FnvHashMap, InspectOutcome, Mesh2d, NodeId, Packet, PacketInspector,
+};
 
 use crate::circuit::{BoostRule, HardwareTrojan, TamperRule, TrojanMode};
 use crate::schedule::ActivationSchedule;
@@ -25,7 +25,7 @@ pub struct FleetStats {
 /// (Section III-B) without simulating each packet.
 #[derive(Debug, Clone)]
 pub struct TrojanFleet {
-    trojans: HashMap<NodeId, HardwareTrojan>,
+    trojans: FnvHashMap<NodeId, HardwareTrojan>,
     schedule: ActivationSchedule,
 }
 
